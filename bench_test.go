@@ -1,0 +1,47 @@
+// Package campuslab's root benchmarks regenerate every experiment in the
+// reproduction index (DESIGN.md §3): one benchmark per table, E1-E13.
+// Each iteration runs the full experiment; results print the same rows the
+// tables in EXPERIMENTS.md record. Run with:
+//
+//	go test -bench=. -benchmem
+package campuslab_test
+
+import (
+	"testing"
+
+	"campuslab/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration and
+// reports the table size as a sanity signal.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	b.ReportAllocs()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tb, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tb.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE1_Pipeline(b *testing.B)           { runExperiment(b, "E1") }
+func BenchmarkE2_ControlLoopTiers(b *testing.B)   { runExperiment(b, "E2") }
+func BenchmarkE3_CaptureRate(b *testing.B)        { runExperiment(b, "E3") }
+func BenchmarkE4_TaskScaling(b *testing.B)        { runExperiment(b, "E4") }
+func BenchmarkE5_DNSAmpMitigation(b *testing.B)   { runExperiment(b, "E5") }
+func BenchmarkE6_ModelExtraction(b *testing.B)    { runExperiment(b, "E6") }
+func BenchmarkE7_StoreRetention(b *testing.B)     { runExperiment(b, "E7") }
+func BenchmarkE8_Anonymization(b *testing.B)      { runExperiment(b, "E8") }
+func BenchmarkE9_CrossCampus(b *testing.B)        { runExperiment(b, "E9") }
+func BenchmarkE10_TopDownVsBottomUp(b *testing.B) { runExperiment(b, "E10") }
+func BenchmarkE11_CanaryRollback(b *testing.B)    { runExperiment(b, "E11") }
+func BenchmarkE12_Compile(b *testing.B)           { runExperiment(b, "E12") }
+func BenchmarkE13_MultiTask(b *testing.B)         { runExperiment(b, "E13") }

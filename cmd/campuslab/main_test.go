@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"campuslab/internal/capture"
+	"campuslab/internal/traffic"
+)
+
+// writeTestPcap generates a small labeled pcap for query tests.
+func writeTestPcap(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "q.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := capture.NewPcapWriter(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := traffic.DefaultPlan(20)
+	gen := traffic.NewMerge(
+		traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 40, Duration: time.Second, Seed: 3}),
+		traffic.NewAttack(traffic.AttackConfig{Kind: traffic.LabelDNSAmp, Plan: plan, Duration: time.Second, Rate: 200, Seed: 4}),
+	)
+	var fr traffic.Frame
+	for gen.Next(&fr) {
+		rec := capture.Record{TS: fr.TS, Data: fr.Data}
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdQuery(t *testing.T) {
+	path := writeTestPcap(t)
+	if err := cmdQuery([]string{"-pcap", path, "-expr", "dns && dns.qtype == ANY", "-limit", "5", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdQueryErrors(t *testing.T) {
+	if err := cmdQuery([]string{"-expr", "dns"}); err == nil {
+		t.Error("missing -pcap accepted")
+	}
+	if err := cmdQuery([]string{"-pcap", "/no/such/file.pcap"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTestPcap(t)
+	if err := cmdQuery([]string{"-pcap", path, "-expr", "bogus =="}); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+func TestCmdExperimentUnknown(t *testing.T) {
+	if err := cmdExperiment([]string{"E999"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := cmdExperiment([]string{}); err == nil {
+		t.Error("missing id accepted")
+	}
+}
+
+func TestCmdExperimentRunsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	if err := cmdExperiment([]string{"-md", "E8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdDevelop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	if err := cmdDevelop([]string{"-target", "dns-amp", "-depth", "3", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDevelop([]string{"-target", "not-a-label"}); err == nil {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	cases := map[uint64]string{
+		100:     "100B",
+		2 << 10: "2.0KiB",
+		3 << 20: "3.0MiB",
+		4 << 30: "4.0GiB",
+	}
+	for in, want := range cases {
+		if got := sizeof(in); got != want {
+			t.Errorf("sizeof(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command labd runs a campus lab as a long-lived daemon: it collects a
+// rolling synthetic scenario into the data store, develops a deployable
+// model, and serves a line-oriented TCP protocol for operators and tools:
+//
+//	STATS                  store and switch statistics
+//	QUERY <expr>           filter-language query (first 10 matches)
+//	RULES                  the deployed model's operator rules
+//	EXPLAIN <idx>          evidence for a recent escalated packet
+//	LABELS                 ground-truth class counts
+//	QUIT                   close the connection
+//
+// Usage: labd -listen 127.0.0.1:7077 [-seed 3]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"campuslab/internal/core"
+	"campuslab/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("labd: ")
+	var (
+		listen = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		seed   = flag.Int64("seed", 3, "scenario seed")
+	)
+	flag.Parse()
+
+	srv, err := newServer(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (store: %d packets, model: %d rules)",
+		ln.Addr(), srv.lab.Store().Stats().Packets, len(srv.dep.Rules))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Print("shutting down")
+				return
+			}
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go srv.handle(conn)
+	}
+}
+
+// server holds the lab state shared across connections. The store and
+// deployment are built once at startup; queries are read-only.
+type server struct {
+	lab *core.Lab
+	dep *core.Deployment
+}
+
+func newServer(seed int64) (*server, error) {
+	plan := traffic.DefaultPlan(40)
+	lab, err := core.NewLab(core.Config{Name: "labd", Plan: plan})
+	if err != nil {
+		return nil, err
+	}
+	benign := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: seed})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(5),
+		Start: 600 * time.Millisecond, Duration: 3 * time.Second, Rate: 800, Seed: seed + 1,
+	})
+	if _, err := lab.Collect(traffic.NewMerge(benign, amp)); err != nil {
+		return nil, err
+	}
+	dep, err := lab.Develop(core.DevelopConfig{Target: traffic.LabelDNSAmp, Seed: seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	return &server{lab: lab, dep: dep}, nil
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	fmt.Fprintln(w, "campuslab labd ready; commands: STATS QUERY RULES LABELS QUIT")
+	w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "QUIT":
+			fmt.Fprintln(w, "bye")
+			w.Flush()
+			return
+		case "STATS":
+			st := s.lab.Store().Stats()
+			fmt.Fprintf(w, "packets=%d flows=%d events=%d data_bytes=%d index_bytes=%d span=%v\n",
+				st.Packets, st.Flows, st.Events, st.DataBytes, st.IndexBytes, st.Span.Round(time.Millisecond))
+		case "QUERY":
+			if rest == "" {
+				fmt.Fprintln(w, "ERR QUERY needs an expression")
+				break
+			}
+			matches, err := s.lab.Store().SelectExpr(rest, 10)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "OK %d\n", len(matches))
+			for i := range matches {
+				fmt.Fprintf(w, "%v %v %dB\n", matches[i].TS.Round(time.Microsecond),
+					matches[i].Summary.Tuple, matches[i].Summary.WireLen)
+			}
+		case "RULES":
+			fmt.Fprintf(w, "OK %d\n", len(s.dep.Rules))
+			for _, r := range s.dep.Rules {
+				fmt.Fprintln(w, r)
+			}
+		case "LABELS":
+			counts := s.lab.Store().LabelCounts()
+			for l := traffic.LabelBenign; l < traffic.NumLabels; l++ {
+				if counts[l] > 0 {
+					fmt.Fprintf(w, "%s=%d\n", l, counts[l])
+				}
+			}
+		case "":
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	testSrvOnce sync.Once
+	testSrvAddr string
+	testSrvErr  error
+)
+
+// startTestServer brings up one shared labd server (training the model is
+// expensive) and returns a fresh client connection.
+func startTestServer(t *testing.T) net.Conn {
+	t.Helper()
+	testSrvOnce.Do(func() {
+		srv, err := newServer(3)
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		testSrvAddr = ln.Addr().String()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.handle(conn)
+			}
+		}()
+	})
+	if testSrvErr != nil {
+		t.Fatal(testSrvErr)
+	}
+	conn, err := net.DialTimeout("tcp", testSrvAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// protoSession drives one request/response exchange.
+type protoSession struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func newSession(t *testing.T) *protoSession {
+	t.Helper()
+	conn := startTestServer(t)
+	s := &protoSession{conn: conn, r: bufio.NewReader(conn)}
+	banner, err := s.r.ReadString('\n')
+	if err != nil || !strings.Contains(banner, "labd ready") {
+		t.Fatalf("banner = %q, err = %v", banner, err)
+	}
+	return s
+}
+
+func (s *protoSession) send(t *testing.T, cmd string) string {
+	t.Helper()
+	if _, err := s.conn.Write([]byte(cmd + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := s.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func (s *protoSession) readLines(t *testing.T, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, strings.TrimSpace(line))
+	}
+	return out
+}
+
+func TestLabdStats(t *testing.T) {
+	s := newSession(t)
+	resp := s.send(t, "STATS")
+	if !strings.Contains(resp, "packets=") || !strings.Contains(resp, "flows=") {
+		t.Errorf("STATS = %q", resp)
+	}
+	if strings.Contains(resp, "packets=0 ") {
+		t.Error("server booted with empty store")
+	}
+}
+
+func TestLabdQuery(t *testing.T) {
+	s := newSession(t)
+	resp := s.send(t, "QUERY dns && dns.qtype == ANY")
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("QUERY = %q", resp)
+	}
+	var n int
+	if _, err := sscanInt(resp[3:], &n); err != nil {
+		t.Fatalf("bad count in %q", resp)
+	}
+	if n == 0 {
+		t.Fatal("no ANY-query packets in the scenario")
+	}
+	lines := s.readLines(t, n)
+	for _, l := range lines {
+		if !strings.Contains(l, ">") {
+			t.Errorf("result line %q lacks a tuple", l)
+		}
+	}
+}
+
+func TestLabdQueryErrors(t *testing.T) {
+	s := newSession(t)
+	if resp := s.send(t, "QUERY"); !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("bare QUERY = %q", resp)
+	}
+	if resp := s.send(t, "QUERY bogusfield == 1"); !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("bad expression = %q", resp)
+	}
+	if resp := s.send(t, "FROBNICATE"); !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("unknown command = %q", resp)
+	}
+}
+
+func TestLabdRulesAndLabels(t *testing.T) {
+	s := newSession(t)
+	resp := s.send(t, "RULES")
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("RULES = %q", resp)
+	}
+	var n int
+	if _, err := sscanInt(resp[3:], &n); err != nil || n == 0 {
+		t.Fatalf("rule count in %q", resp)
+	}
+	rules := s.readLines(t, n)
+	for _, r := range rules {
+		if !strings.HasPrefix(r, "IF ") {
+			t.Errorf("rule %q", r)
+		}
+	}
+	labels := s.send(t, "LABELS")
+	if !strings.HasPrefix(labels, "benign=") && !strings.HasPrefix(labels, "dns-amp=") {
+		t.Errorf("LABELS first line = %q", labels)
+	}
+}
+
+func TestLabdQuit(t *testing.T) {
+	s := newSession(t)
+	if resp := s.send(t, "QUIT"); resp != "bye" {
+		t.Errorf("QUIT = %q", resp)
+	}
+	// Connection should be closed by the server.
+	s.conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := s.r.ReadString('\n'); err == nil {
+		t.Error("connection still open after QUIT")
+	}
+}
+
+func TestLabdConcurrentClients(t *testing.T) {
+	// Two sessions against the same server must not interfere.
+	a := newSession(t)
+	b := newSession(t)
+	ra := a.send(t, "STATS")
+	rb := b.send(t, "STATS")
+	if ra != rb {
+		t.Errorf("stats diverge across clients: %q vs %q", ra, rb)
+	}
+}
+
+// sscanInt parses a leading integer.
+func sscanInt(s string, out *int) (int, error) {
+	return fmt.Sscan(s, out)
+}

@@ -1,0 +1,117 @@
+// Command trafficgen writes synthetic campus traffic to a pcap file:
+// benign campus workload with optional attack episodes, fully labeled in a
+// sidecar CSV so downstream tools retain ground truth.
+//
+// Usage:
+//
+//	trafficgen -out campus.pcap -duration 10s -fps 200 \
+//	    -attack dns-amp -attack-rate 2000 -attack-start 2s -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"campuslab/internal/capture"
+	"campuslab/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trafficgen: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the generator with CLI args (separated from main for tests).
+func run(args []string) error {
+	fs := flag.NewFlagSet("trafficgen", flag.ContinueOnError)
+	var (
+		out         = fs.String("out", "campus.pcap", "output pcap path")
+		labels      = fs.String("labels", "", "optional ground-truth CSV path (ts_ns,label,dir,len)")
+		duration    = fs.Duration("duration", 10*time.Second, "scenario duration")
+		fps         = fs.Float64("fps", 100, "benign flow arrivals per second")
+		hosts       = fs.Int("hosts", 200, "hosts per department")
+		seed        = fs.Int64("seed", 1, "deterministic seed")
+		diurnal     = fs.Bool("diurnal", false, "apply the diurnal load curve")
+		startHour   = fs.Int("start-hour", 14, "wall-clock hour at scenario start")
+		attack      = fs.String("attack", "", "attack kind: dns-amp, syn-flood, port-scan, beacon (empty = none)")
+		attackRate  = fs.Float64("attack-rate", 0, "attack rate (pps; beacons/hour for beacon)")
+		attackStart = fs.Duration("attack-start", 2*time.Second, "attack episode start")
+		attackDur   = fs.Duration("attack-duration", 0, "attack episode duration (default: half the scenario)")
+		snaplen     = fs.Int("snaplen", 0, "pcap snap length (0 = full frames)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plan := traffic.DefaultPlan(*hosts)
+	gens := []traffic.Generator{
+		traffic.NewCampus(traffic.Profile{
+			Plan: plan, FlowsPerSecond: *fps, Duration: *duration,
+			Diurnal: *diurnal, StartHour: *startHour, Seed: *seed,
+		}),
+	}
+	if *attack != "" {
+		kind, err := traffic.ParseLabel(*attack)
+		if err != nil {
+			return fmt.Errorf("unknown attack %q (want dns-amp, syn-flood, port-scan or beacon)", *attack)
+		}
+		dur := *attackDur
+		if dur <= 0 {
+			dur = *duration / 2
+		}
+		gens = append(gens, traffic.NewAttack(traffic.AttackConfig{
+			Kind: kind, Plan: plan, Start: *attackStart, Duration: dur,
+			Rate: *attackRate, Seed: *seed + 1,
+		}))
+	}
+	gen := traffic.NewMerge(gens...)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := capture.NewPcapWriter(f, *snaplen)
+	if err != nil {
+		return err
+	}
+
+	var lf *os.File
+	if *labels != "" {
+		if lf, err = os.Create(*labels); err != nil {
+			return err
+		}
+		defer lf.Close()
+		fmt.Fprintln(lf, "ts_ns,label,dir,len")
+	}
+
+	var stats traffic.Stats
+	var fr traffic.Frame
+	for gen.Next(&fr) {
+		rec := capture.Record{TS: fr.TS, Data: fr.Data}
+		if err := w.Write(&rec); err != nil {
+			return err
+		}
+		if lf != nil {
+			fmt.Fprintf(lf, "%d,%s,%s,%d\n", fr.TS.Nanoseconds(), fr.Label, fr.Dir, len(fr.Data))
+		}
+		stats.Observe(&fr)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d frames (%d bytes, %.2f Mbit/s offered) to %s",
+		stats.Frames, stats.Bytes, stats.OfferedRate()/1e6, *out)
+	for l := traffic.LabelBenign; l < traffic.NumLabels; l++ {
+		if stats.ByLabel[l] > 0 {
+			log.Printf("  %-10s %d frames", l, stats.ByLabel[l])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module campuslab
+
+go 1.22

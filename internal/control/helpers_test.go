@@ -1,0 +1,22 @@
+package control
+
+import (
+	"testing"
+
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+func newParser() *packet.FlowParser { return packet.NewFlowParser() }
+
+// parseAll pre-parses frames into summaries for benchmarks.
+func parseAll(tb testing.TB, fp *packet.FlowParser, frames []traffic.Frame) []packet.Summary {
+	tb.Helper()
+	out := make([]packet.Summary, len(frames))
+	for i := range frames {
+		if err := fp.Parse(frames[i].Data, &out[i]); err != nil {
+			tb.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	return out
+}

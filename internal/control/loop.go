@@ -1,0 +1,301 @@
+package control
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"campuslab/internal/dataplane"
+	"campuslab/internal/features"
+	"campuslab/internal/ml"
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// LoopConfig wires a detection/mitigation control loop.
+type LoopConfig struct {
+	// Tier selects where inference runs.
+	Tier Tier
+	// TierModel overrides the default latency envelope (zero = default).
+	TierModel *TierModel
+	// Program is the compiled in-switch classifier. For TierDataPlane
+	// its attack rules should be drops; for the other tiers alerts/punts.
+	Program *dataplane.Program
+	// Model is the off-switch classifier (extracted tree for the control
+	// plane, black-box forest for the cloud). Ignored by TierDataPlane.
+	Model ml.Classifier
+	// Threshold is the per-victim confidence required before mitigation
+	// (the paper's "at least 90%" example).
+	Threshold float64
+	// Window is the confidence-aggregation window.
+	Window time.Duration
+	// MinEvidence is the minimum suspicious packets per window before a
+	// confidence is considered meaningful.
+	MinEvidence int
+	// FilterScope narrows installed mitigations: protocol to block
+	// toward the victim (default UDP, matching the DNS-amp task).
+	FilterProto packet.IPProtocol
+	// RateLimitBps, when positive, makes React install a token-bucket
+	// meter (pass this many bytes/second toward the victim, drop the
+	// excess) instead of a hard drop — the lower-collateral mitigation.
+	RateLimitBps float64
+	// Resources sizes the switch (zero = DefaultResources).
+	Resources *dataplane.Resources
+}
+
+// Mitigation records one react action.
+type Mitigation struct {
+	Victim      netip.Addr
+	InstalledAt time.Duration // when the filter became effective
+	DecidedAt   time.Duration // when confidence crossed the threshold
+	Confidence  float64
+	Evidence    int // suspicious packets that contributed
+}
+
+// LoopStats summarizes a replay through the loop.
+type LoopStats struct {
+	Packets     uint64
+	InlineDrops uint64 // dropped by the program (dataplane tier)
+	FilterDrops uint64 // dropped by installed mitigations
+	Escalations uint64 // packets sent to the inference tier
+	Mitigations []Mitigation
+	InferMean   time.Duration
+	InferMax    time.Duration
+	// per ground-truth accounting (filled when labels supplied)
+	AttackPackets uint64
+	AttackDropped uint64
+	BenignPackets uint64
+	BenignDropped uint64
+}
+
+// DetectionRecall is the fraction of attack packets dropped.
+func (s *LoopStats) DetectionRecall() float64 {
+	if s.AttackPackets == 0 {
+		return 0
+	}
+	return float64(s.AttackDropped) / float64(s.AttackPackets)
+}
+
+// CollateralRate is the fraction of benign packets dropped.
+func (s *LoopStats) CollateralRate() float64 {
+	if s.BenignPackets == 0 {
+		return 0
+	}
+	return float64(s.BenignDropped) / float64(s.BenignPackets)
+}
+
+// Loop is the running control loop bound to one switch.
+type Loop struct {
+	cfg    LoopConfig
+	sw     *dataplane.Switch
+	engine *InferenceEngine
+	stats  LoopStats
+
+	// per-victim evidence accumulation
+	windows map[netip.Addr]*victimWindow
+	// verdicts in flight from the inference tier
+	pending   []pendingVerdict
+	mitigated map[netip.Addr]bool
+	featBuf   []float64
+}
+
+type victimWindow struct {
+	start      time.Duration
+	suspicious int
+	confSum    float64
+}
+
+type pendingVerdict struct {
+	readyAt time.Duration
+	victim  netip.Addr
+	conf    float64
+	attack  bool
+}
+
+// NewLoop validates cfg and builds the loop.
+func NewLoop(cfg LoopConfig) (*Loop, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("control: Program is required")
+	}
+	if cfg.Tier != TierDataPlane && cfg.Model == nil {
+		return nil, fmt.Errorf("control: %v tier requires a Model", cfg.Tier)
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold > 1 {
+		cfg.Threshold = 0.9
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.MinEvidence <= 0 {
+		cfg.MinEvidence = 20
+	}
+	if cfg.FilterProto == 0 {
+		cfg.FilterProto = packet.IPProtocolUDP
+	}
+	res := dataplane.DefaultResources()
+	if cfg.Resources != nil {
+		res = *cfg.Resources
+	}
+	sw := dataplane.NewSwitch(res)
+	if err := sw.Load(cfg.Program); err != nil {
+		return nil, err
+	}
+	tm := DefaultTierModels()[cfg.Tier]
+	if cfg.TierModel != nil {
+		tm = *cfg.TierModel
+	}
+	return &Loop{
+		cfg:       cfg,
+		sw:        sw,
+		engine:    NewInferenceEngine(tm),
+		windows:   make(map[netip.Addr]*victimWindow),
+		mitigated: make(map[netip.Addr]bool),
+		featBuf:   make([]float64, len(features.PacketSchema)),
+	}, nil
+}
+
+// Switch exposes the underlying switch (telemetry, tests).
+func (l *Loop) Switch() *dataplane.Switch { return l.sw }
+
+// BenignDroppedSoFar exposes the live benign-collateral counter for
+// watchdogs (canary deployments) that must act mid-replay.
+func (l *Loop) BenignDroppedSoFar() uint64 { return l.stats.BenignDropped }
+
+// Feed runs one labeled frame through the loop at its timestamp and
+// reports whether the packet survived (was not dropped).
+func (l *Loop) Feed(f *traffic.Frame, s *packet.Summary) bool {
+	l.drainPending(f.TS)
+	l.stats.Packets++
+	isAttack := f.Label != traffic.LabelBenign
+	if isAttack {
+		l.stats.AttackPackets++
+	} else {
+		l.stats.BenignPackets++
+	}
+
+	v := l.sw.ProcessAt(f.TS, s)
+	dropped := v.Action == dataplane.ActionDrop
+	if dropped {
+		if v.FilterHit {
+			l.stats.FilterDrops++
+		} else {
+			l.stats.InlineDrops++
+		}
+	}
+
+	// Escalate alerts/punts to the inference tier (detect-then-mitigate).
+	if l.cfg.Tier != TierDataPlane &&
+		(v.Action == dataplane.ActionAlert || v.Action == dataplane.ActionPunt) {
+		l.escalate(f.TS, s)
+	}
+
+	if dropped {
+		if isAttack {
+			l.stats.AttackDropped++
+		} else {
+			l.stats.BenignDropped++
+		}
+		return false
+	}
+	return true
+}
+
+// escalate submits the packet to the tier model and schedules the verdict.
+func (l *Loop) escalate(ts time.Duration, s *packet.Summary) {
+	l.stats.Escalations++
+	readyAt := l.engine.Submit(ts)
+	features.PacketVector(s, l.featBuf)
+	proba := l.cfg.Model.Proba(l.featBuf)
+	attackConf := 0.0
+	for c := 1; c < len(proba); c++ {
+		attackConf += proba[c]
+	}
+	l.pending = append(l.pending, pendingVerdict{
+		readyAt: readyAt,
+		victim:  s.Tuple.DstIP,
+		conf:    attackConf,
+		attack:  attackConf >= 0.5,
+	})
+}
+
+// drainPending applies verdicts whose latency has elapsed, accumulating
+// evidence and installing mitigations when the threshold is crossed.
+func (l *Loop) drainPending(now time.Duration) {
+	if len(l.pending) == 0 {
+		return
+	}
+	sort.SliceStable(l.pending, func(i, j int) bool { return l.pending[i].readyAt < l.pending[j].readyAt })
+	keep := l.pending[:0]
+	for _, pv := range l.pending {
+		if pv.readyAt > now {
+			keep = append(keep, pv)
+			continue
+		}
+		l.applyVerdict(pv)
+	}
+	l.pending = keep
+}
+
+func (l *Loop) applyVerdict(pv pendingVerdict) {
+	if !pv.attack || l.mitigated[pv.victim] {
+		return
+	}
+	w := l.windows[pv.victim]
+	if w == nil || pv.readyAt-w.start > l.cfg.Window {
+		w = &victimWindow{start: pv.readyAt}
+		l.windows[pv.victim] = w
+	}
+	w.suspicious++
+	w.confSum += pv.conf
+	if w.suspicious < l.cfg.MinEvidence {
+		return
+	}
+	conf := w.confSum / float64(w.suspicious)
+	if conf < l.cfg.Threshold {
+		return
+	}
+	// React: install the mitigation; effective after one controller RTT.
+	installAt := pv.readyAt + l.engine.model.RTT/2
+	key := dataplane.FilterKey{DstIP: pv.victim, Proto: l.cfg.FilterProto}
+	var err error
+	if l.cfg.RateLimitBps > 0 {
+		err = l.sw.InstallRateLimit(key, l.cfg.RateLimitBps, 4*l.cfg.RateLimitBps)
+	} else {
+		err = l.sw.InstallFilter(key, dataplane.ActionDrop)
+	}
+	if err != nil {
+		return // table full: mitigation impossible, keep accumulating
+	}
+	l.mitigated[pv.victim] = true
+	l.stats.Mitigations = append(l.stats.Mitigations, Mitigation{
+		Victim:      pv.victim,
+		DecidedAt:   pv.readyAt,
+		InstalledAt: installAt,
+		Confidence:  conf,
+		Evidence:    w.suspicious,
+	})
+}
+
+// Finish flushes in-flight verdicts and returns final statistics.
+func (l *Loop) Finish() LoopStats {
+	l.drainPending(1 << 62)
+	_, mean, max := l.engine.LatencyStats()
+	l.stats.InferMean = mean
+	l.stats.InferMax = max
+	return l.stats
+}
+
+// Replay drives a whole generator through the loop, parsing frames once.
+func (l *Loop) Replay(gen traffic.Generator) (LoopStats, error) {
+	fp := packet.NewFlowParser()
+	var f traffic.Frame
+	var s packet.Summary
+	for gen.Next(&f) {
+		if err := fp.Parse(f.Data, &s); err != nil {
+			continue // non-IP or malformed: not the loop's problem
+		}
+		l.Feed(&f, &s)
+	}
+	return l.Finish(), nil
+}

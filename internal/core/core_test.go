@@ -1,0 +1,236 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"campuslab/internal/control"
+	"campuslab/internal/eventlog"
+	"campuslab/internal/privacy"
+	"campuslab/internal/roadtest"
+	"campuslab/internal/traffic"
+)
+
+// scenario builds a labeled benign+attack stream on the lab's plan.
+func scenario(l *Lab, benignSeed, attackSeed int64) traffic.Generator {
+	benign := traffic.NewCampus(traffic.Profile{
+		Plan: l.Plan(), FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: benignSeed,
+	})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: l.Plan(), Victim: l.Plan().Host(6),
+		Start: 800 * time.Millisecond, Duration: 2500 * time.Millisecond, Rate: 800, Seed: attackSeed,
+	})
+	return traffic.NewMerge(benign, amp)
+}
+
+func newLab(t testing.TB) *Lab {
+	t.Helper()
+	lab, err := NewLab(Config{Name: "ucsb-sim", Plan: traffic.DefaultPlan(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func TestCollectPopulatesStore(t *testing.T) {
+	lab := newLab(t)
+	cs, err := lab.Collect(scenario(lab, 301, 302))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Frames == 0 || cs.Bytes == 0 {
+		t.Fatal("nothing collected")
+	}
+	if cs.StoreStats.Packets != cs.Frames {
+		t.Errorf("store packets %d != frames %d", cs.StoreStats.Packets, cs.Frames)
+	}
+	counts := lab.Store().LabelCounts()
+	if counts[traffic.LabelDNSAmp] == 0 {
+		t.Error("attack labels missing after collection")
+	}
+}
+
+func TestCollectWithAnonymizationStillLearns(t *testing.T) {
+	lab, err := NewLab(Config{
+		Name: "anon-campus", Plan: traffic.DefaultPlan(40),
+		Policy: privacy.Policy{Scope: privacy.AnonAll},
+		Secret: []byte("it-org-secret"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Collect(scenario(lab, 303, 304)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := lab.Develop(DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 305})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anonymization preserves everything the packet features use, so the
+	// model should be as good as ever.
+	if dep.TestAccuracy < 0.95 {
+		t.Errorf("test accuracy on anonymized store = %v", dep.TestAccuracy)
+	}
+}
+
+func TestDevelopProducesAllArtifacts(t *testing.T) {
+	lab := newLab(t)
+	if _, err := lab.Collect(scenario(lab, 306, 307)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := lab.Develop(DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 308})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.BlackBox == nil || dep.Extraction == nil || dep.DropProgram == nil || dep.AlertProgram == nil {
+		t.Fatal("missing artifacts")
+	}
+	if dep.Extraction.Fidelity < 0.9 {
+		t.Errorf("fidelity = %v", dep.Extraction.Fidelity)
+	}
+	if dep.TestAccuracy < 0.9 {
+		t.Errorf("deployable test accuracy = %v", dep.TestAccuracy)
+	}
+	if dep.BlackBoxTestAccuracy < dep.TestAccuracy-0.05 {
+		// black box should be at least comparable
+		t.Errorf("black box %v much worse than extracted %v", dep.BlackBoxTestAccuracy, dep.TestAccuracy)
+	}
+	if len(dep.Rules) == 0 {
+		t.Fatal("no operator rules")
+	}
+	for _, r := range dep.Rules {
+		if !strings.Contains(r, "IF ") {
+			t.Errorf("malformed rule %q", r)
+		}
+	}
+	// The drop program must be strictly smaller than the black box in
+	// the sense that matters for a switch.
+	if dep.DropProgram.TCAMCost() <= 0 {
+		t.Error("drop program has no rules")
+	}
+}
+
+func TestDevelopValidation(t *testing.T) {
+	lab := newLab(t)
+	if _, err := lab.Develop(DevelopConfig{Target: traffic.LabelBenign}); err == nil {
+		t.Error("accepted benign target")
+	}
+	if _, err := lab.Develop(DevelopConfig{Target: traffic.LabelDNSAmp}); err == nil {
+		t.Error("developed from an empty store")
+	}
+	// Store with benign only: no positives.
+	benign := traffic.NewCampus(traffic.Profile{Plan: lab.Plan(), FlowsPerSecond: 30, Duration: time.Second, Seed: 309})
+	if _, err := lab.Collect(benign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Develop(DevelopConfig{Target: traffic.LabelDNSAmp}); err == nil {
+		t.Error("developed with no positive examples")
+	}
+}
+
+func TestDevelopThenRoadTest(t *testing.T) {
+	lab := newLab(t)
+	if _, err := lab.Collect(scenario(lab, 310, 311)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := lab.Develop(DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 312})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lab.RoadTest(dep, control.TierDataPlane, scenario(lab, 313, 314),
+		roadtest.Spec{MinRecall: 0.9, MaxCollateral: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("road test failed: %s", rep.Summary())
+	}
+}
+
+func TestSensorEventsJoinStore(t *testing.T) {
+	lab := newLab(t)
+	gen := eventlog.NewGenerator(eventlog.GeneratorConfig{
+		Source: eventlog.SourceFirewall, Rate: 5, Seed: 315, Skew: 2 * time.Second,
+	})
+	evs := gen.Generate(10 * time.Second)
+	var sync eventlog.Synchronizer
+	// Reference pairs: sensor clock = capture + 2s.
+	if err := sync.Fit(
+		[]time.Duration{3 * time.Second, 7 * time.Second},
+		[]time.Duration{1 * time.Second, 5 * time.Second},
+	); err != nil {
+		t.Fatal(err)
+	}
+	lab.AddSensorEvents(evs, &sync)
+	// A sensor event at skewed TS 2.5s is really at 0.5s.
+	got := lab.Store().EventsBetween(0, 10*time.Second)
+	if len(got) == 0 {
+		t.Fatal("no events stored")
+	}
+	// All corrected times must be earlier than the skewed originals.
+	for i, e := range got {
+		if e.TS >= evs[i].TS {
+			t.Fatalf("event %d not clock-corrected: %v >= %v", i, e.TS, evs[i].TS)
+		}
+	}
+}
+
+func TestCrossCampusReproducibility(t *testing.T) {
+	specs := []CampusSpec{
+		{Name: "ucsb", HostsPerDept: 30, FlowsPerSecond: 50, AttackRate: 700, StartHour: 14, Seed: 316},
+		{Name: "princeton", HostsPerDept: 45, FlowsPerSecond: 70, AttackRate: 500, StartHour: 17, Seed: 317},
+		{Name: "columbia", HostsPerDept: 25, FlowsPerSecond: 40, AttackRate: 900, StartHour: 17, Seed: 318},
+	}
+	res, err := RunCrossCampus(specs, Algorithm{Target: traffic.LabelDNSAmp, Seed: 319})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Campuses) != 3 || len(res.Accuracy) != 3 {
+		t.Fatalf("matrix shape wrong: %+v", res.Campuses)
+	}
+	// Self-accuracy must be high everywhere; transfer should hold up
+	// (the signature is structural, not campus-specific).
+	for i := range res.Accuracy {
+		if res.Accuracy[i][i] < 0.9 {
+			t.Errorf("campus %s self accuracy = %v", res.Campuses[i], res.Accuracy[i][i])
+		}
+		if res.Fidelity[i] < 0.85 {
+			t.Errorf("campus %s fidelity = %v", res.Campuses[i], res.Fidelity[i])
+		}
+		for j := range res.Accuracy[i] {
+			if res.Accuracy[i][j] < 0.5 {
+				t.Errorf("transfer %s->%s accuracy = %v", res.Campuses[i], res.Campuses[j], res.Accuracy[i][j])
+			}
+		}
+	}
+	if res.DiagonalMean() <= 0 || res.OffDiagonalMean() <= 0 {
+		t.Error("means not computed")
+	}
+}
+
+func TestCrossCampusValidation(t *testing.T) {
+	if _, err := RunCrossCampus([]CampusSpec{{Name: "only"}}, Algorithm{Target: traffic.LabelDNSAmp}); err == nil {
+		t.Error("accepted single campus")
+	}
+	specs := []CampusSpec{{Name: "a", Seed: 1}, {Name: "b", Seed: 2}}
+	if _, err := RunCrossCampus(specs, Algorithm{Target: traffic.LabelBenign}); err == nil {
+		t.Error("accepted benign target")
+	}
+}
+
+func TestLabDatasets(t *testing.T) {
+	lab := newLab(t)
+	if _, err := lab.Collect(scenario(lab, 320, 321)); err != nil {
+		t.Fatal(err)
+	}
+	if d := lab.FlowDataset(); d.Len() == 0 {
+		t.Error("empty flow dataset")
+	}
+	if d := lab.WindowDataset(time.Second); d.Len() == 0 {
+		t.Error("empty window dataset")
+	}
+	if d := lab.PacketDataset(traffic.LabelDNSAmp, 0.5); d.Len() == 0 {
+		t.Error("empty packet dataset")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"campuslab/internal/features"
+	"campuslab/internal/ml"
+	"campuslab/internal/traffic"
+	"campuslab/internal/xai"
+)
+
+// CampusSpec describes one participating university: same open-sourced
+// algorithm, different network (size, mix, attack intensity, time zone) —
+// §5's reproducibility-across-campuses experiment. Data never leaves a
+// campus; only the algorithm travels.
+type CampusSpec struct {
+	Name           string
+	HostsPerDept   int
+	FlowsPerSecond float64
+	// Duration of the collected scenario.
+	Duration time.Duration
+	// AttackRate scales the overlaid attack episode (pps).
+	AttackRate float64
+	// StartHour shifts the diurnal curve (time zones).
+	StartHour int
+	// Seed makes this campus's traffic unique and reproducible.
+	Seed int64
+}
+
+// Algorithm is the "open-sourced learning algorithm" every campus runs
+// locally: a pipeline recipe, not a trained model.
+type Algorithm struct {
+	// Target attack class.
+	Target traffic.Label
+	// ForestTrees/ForestDepth size the black box (defaults 30/10).
+	ForestTrees, ForestDepth int
+	// DeployDepth bounds the extracted tree (default 4).
+	DeployDepth int
+	// Seed is the algorithm-level seed (shared; campus data differs).
+	Seed int64
+}
+
+// CrossCampusResult is the train-on-i, evaluate-on-j matrix.
+type CrossCampusResult struct {
+	Campuses []string
+	// Accuracy[i][j]: deployable model trained at campus i, tested on
+	// campus j's held-out data.
+	Accuracy [][]float64
+	// F1 of the attack class in the same arrangement.
+	F1 [][]float64
+	// Fidelity[i] is extraction fidelity at the home campus.
+	Fidelity []float64
+}
+
+// DiagonalMean averages self-campus accuracy (train = test campus).
+func (r *CrossCampusResult) DiagonalMean() float64 {
+	var s float64
+	for i := range r.Accuracy {
+		s += r.Accuracy[i][i]
+	}
+	return s / float64(len(r.Accuracy))
+}
+
+// OffDiagonalMean averages transfer accuracy (train != test campus).
+func (r *CrossCampusResult) OffDiagonalMean() float64 {
+	var s float64
+	var n int
+	for i := range r.Accuracy {
+		for j := range r.Accuracy[i] {
+			if i != j {
+				s += r.Accuracy[i][j]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// RunCrossCampus simulates each campus, trains the algorithm locally, and
+// evaluates every model on every campus's held-out test set.
+func RunCrossCampus(specs []CampusSpec, algo Algorithm) (*CrossCampusResult, error) {
+	if len(specs) < 2 {
+		return nil, fmt.Errorf("core: cross-campus needs >= 2 campuses, got %d", len(specs))
+	}
+	if algo.Target == traffic.LabelBenign {
+		return nil, fmt.Errorf("core: algorithm target must be an attack class")
+	}
+	if algo.ForestTrees <= 0 {
+		algo.ForestTrees = 30
+	}
+	if algo.ForestDepth <= 0 {
+		algo.ForestDepth = 10
+	}
+	if algo.DeployDepth <= 0 {
+		algo.DeployDepth = 4
+	}
+
+	n := len(specs)
+	trainSets := make([]*features.Dataset, n)
+	testSets := make([]*features.Dataset, n)
+	models := make([]*xai.Extraction, n)
+	res := &CrossCampusResult{
+		Campuses: make([]string, n),
+		Accuracy: make([][]float64, n),
+		F1:       make([][]float64, n),
+		Fidelity: make([]float64, n),
+	}
+
+	for i, spec := range specs {
+		res.Campuses[i] = spec.Name
+		lab, gen, err := buildCampusScenario(spec, algo.Target)
+		if err != nil {
+			return nil, fmt.Errorf("core: campus %s: %w", spec.Name, err)
+		}
+		if _, err := lab.Collect(gen); err != nil {
+			return nil, fmt.Errorf("core: campus %s: %w", spec.Name, err)
+		}
+		ds := lab.PacketDataset(algo.Target, 1.0)
+		if ds.ClassCounts()[1] == 0 {
+			return nil, fmt.Errorf("core: campus %s collected no attack traffic", spec.Name)
+		}
+		ds.Shuffle(algo.Seed + spec.Seed)
+		trainSets[i], testSets[i] = ds.Split(0.7)
+	}
+	for i := range specs {
+		forest, err := ml.FitForest(trainSets[i], 2, ml.ForestConfig{
+			Trees: algo.ForestTrees, MaxDepth: algo.ForestDepth, Seed: algo.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: training at %s: %w", specs[i].Name, err)
+		}
+		ex, err := xai.Extract(forest, trainSets[i], xai.ExtractConfig{
+			MaxDepth: algo.DeployDepth, Seed: algo.Seed + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: extracting at %s: %w", specs[i].Name, err)
+		}
+		models[i] = ex
+		res.Fidelity[i] = ex.Fidelity
+	}
+	for i := range specs {
+		res.Accuracy[i] = make([]float64, n)
+		res.F1[i] = make([]float64, n)
+		for j := range specs {
+			conf := ml.Evaluate(models[i].Tree, testSets[j])
+			res.Accuracy[i][j] = conf.Accuracy()
+			res.F1[i][j] = conf.F1(1)
+		}
+	}
+	return res, nil
+}
+
+// buildCampusScenario assembles one campus's lab and labeled scenario.
+func buildCampusScenario(spec CampusSpec, target traffic.Label) (*Lab, traffic.Generator, error) {
+	hosts := spec.HostsPerDept
+	if hosts <= 0 {
+		hosts = 50
+	}
+	dur := spec.Duration
+	if dur <= 0 {
+		dur = 4 * time.Second
+	}
+	fps := spec.FlowsPerSecond
+	if fps <= 0 {
+		fps = 60
+	}
+	rate := spec.AttackRate
+	if rate <= 0 {
+		rate = 700
+	}
+	plan := traffic.DefaultPlan(hosts)
+	lab, err := NewLab(Config{Name: spec.Name, Plan: plan})
+	if err != nil {
+		return nil, nil, err
+	}
+	benign := traffic.NewCampus(traffic.Profile{
+		Plan: plan, FlowsPerSecond: fps, Duration: dur,
+		Diurnal: true, StartHour: spec.StartHour, Seed: spec.Seed,
+	})
+	attack := traffic.NewAttack(traffic.AttackConfig{
+		Kind: target, Plan: plan, Victim: plan.Host(int(spec.Seed) % plan.TotalHosts()),
+		Start: dur / 5, Duration: dur / 2, Rate: rate, Seed: spec.Seed + 1,
+	})
+	return lab, traffic.NewMerge(benign, attack), nil
+}

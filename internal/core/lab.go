@@ -1,0 +1,269 @@
+// Package core is campuslab's public entry point: the Lab type operates a
+// campus network "as a lab" exactly as the paper proposes — the same
+// network is the data source (capture → privacy enforcement → data store →
+// feature engineering) and the testbed (deploy → road-test), and the
+// development loop of Figure 2 (store → black-box model → extracted
+// deployable model → compiled switch program) is one method call.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"campuslab/internal/control"
+	"campuslab/internal/dataplane"
+	"campuslab/internal/datastore"
+	"campuslab/internal/eventlog"
+	"campuslab/internal/features"
+	"campuslab/internal/ml"
+	"campuslab/internal/netsim"
+	"campuslab/internal/privacy"
+	"campuslab/internal/roadtest"
+	"campuslab/internal/traffic"
+	"campuslab/internal/xai"
+)
+
+// Config creates a Lab.
+type Config struct {
+	// Name identifies the campus (reports, cross-campus runs).
+	Name string
+	// Plan is the campus address layout (nil = DefaultPlan(200)).
+	Plan *traffic.AddressPlan
+	// Policy is the IT organization's collection policy. The zero value
+	// stores everything unanonymized (internal-only store, §3).
+	Policy privacy.Policy
+	// Secret keys the anonymizer (required when Policy anonymizes).
+	Secret []byte
+}
+
+// Lab is a campus network operated as data source and testbed.
+type Lab struct {
+	cfg      Config
+	store    *datastore.Store
+	enforcer *privacy.Enforcer
+}
+
+// NewLab validates cfg and builds the lab.
+func NewLab(cfg Config) (*Lab, error) {
+	if cfg.Name == "" {
+		cfg.Name = "campus"
+	}
+	if cfg.Plan == nil {
+		cfg.Plan = traffic.DefaultPlan(200)
+	}
+	if cfg.Policy.Scope == privacy.AnonInternal && !cfg.Policy.CampusPrefix.IsValid() {
+		cfg.Policy.CampusPrefix = cfg.Plan.CampusPrefix
+	}
+	secret := cfg.Secret
+	if len(secret) == 0 {
+		secret = []byte("campuslab-default-internal-key")
+	}
+	enf, err := privacy.NewEnforcer(cfg.Policy, secret)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Lab{cfg: cfg, store: datastore.New(), enforcer: enf}, nil
+}
+
+// Name returns the campus name.
+func (l *Lab) Name() string { return l.cfg.Name }
+
+// Plan returns the address plan.
+func (l *Lab) Plan() *traffic.AddressPlan { return l.cfg.Plan }
+
+// Store exposes the data store for queries.
+func (l *Lab) Store() *datastore.Store { return l.store }
+
+// CollectStats summarizes one collection run.
+type CollectStats struct {
+	Frames     uint64
+	Bytes      uint64
+	StoreStats datastore.Stats
+}
+
+// Collect runs a traffic stream through privacy enforcement into the data
+// store — the "privacy-preserving data collection" arrow of Figure 1.
+// Ground-truth labels ride along for flows the generator marks as attacks.
+func (l *Lab) Collect(gen traffic.Generator) (CollectStats, error) {
+	var cs CollectStats
+	var f traffic.Frame
+	for gen.Next(&f) {
+		out, err := l.enforcer.Apply(f.Data)
+		if err != nil {
+			// Unparseable frames are stored as-is; the store keeps the
+			// "everything on the wire" contract.
+			out = f.Data
+		}
+		stored := f
+		stored.Data = out
+		l.store.IngestFrame(&stored)
+		cs.Frames++
+		cs.Bytes += uint64(len(out))
+	}
+	cs.StoreStats = l.store.Stats()
+	return cs, nil
+}
+
+// AddSensorEvents ingests complementary sensor streams, correcting each
+// stream's clock against the capture clock first when a synchronizer is
+// provided (nil sync = trust the sensor clock).
+func (l *Lab) AddSensorEvents(evs []eventlog.Event, sync *eventlog.Synchronizer) {
+	if sync != nil {
+		corrected := make([]eventlog.Event, len(evs))
+		for i, e := range evs {
+			corrected[i] = e
+			corrected[i].TS = sync.Correct(e.TS)
+		}
+		evs = corrected
+	}
+	l.store.AddEvents(evs)
+}
+
+// PacketDataset extracts the per-packet dataset (dataplane-compilable
+// features) as a binary problem for the target attack class.
+func (l *Lab) PacketDataset(target traffic.Label, benignKeep float64) *features.Dataset {
+	return features.FromPackets(l.store, benignKeep).BinaryRelabel(target)
+}
+
+// FlowDataset extracts per-flow features with multiclass labels.
+func (l *Lab) FlowDataset() *features.Dataset {
+	return features.FromFlows(l.store, l.cfg.Plan.CampusPrefix)
+}
+
+// WindowDataset extracts per-(host, window) features.
+func (l *Lab) WindowDataset(window time.Duration) *features.Dataset {
+	return features.FromWindows(l.store, features.WindowConfig{
+		Window: window, Campus: l.cfg.Plan.CampusPrefix,
+	})
+}
+
+// DevelopConfig parameterizes the Figure 2 development loop.
+type DevelopConfig struct {
+	// Target is the attack class the automation task detects.
+	Target traffic.Label
+	// ForestTrees/ForestDepth size the black-box model (defaults 30/10).
+	ForestTrees, ForestDepth int
+	// DeployDepth bounds the extracted deployable tree (default 4).
+	DeployDepth int
+	// MinConfidence gates fast-path drops (the paper's 90% example;
+	// default 0.9).
+	MinConfidence float64
+	// Seed drives the entire loop deterministically.
+	Seed int64
+}
+
+// Deployment is the development loop's output: every artifact of Figure 2.
+type Deployment struct {
+	// BlackBox is the offline model (slow loop).
+	BlackBox *ml.Forest
+	// Extraction is the deployable model plus its fidelity.
+	Extraction *xai.Extraction
+	// DropProgram drops attack traffic inline (dataplane tier).
+	DropProgram *dataplane.Program
+	// AlertProgram only alerts — for detect-then-mitigate tiers.
+	AlertProgram *dataplane.Program
+	// Rules is the operator-facing rule listing (road-map step iv).
+	Rules []string
+	// TrainAccuracy/TestAccuracy of the deployable model on held-out data.
+	TrainAccuracy, TestAccuracy float64
+	// BlackBoxTestAccuracy for the accuracy-cost-of-explainability gap.
+	BlackBoxTestAccuracy float64
+}
+
+// Develop runs the full slow loop against the data store: featurize →
+// train black box → extract deployable model → compile both program
+// variants → report accuracies and rules.
+func (l *Lab) Develop(cfg DevelopConfig) (*Deployment, error) {
+	if cfg.Target == traffic.LabelBenign {
+		return nil, fmt.Errorf("core: Target must be an attack class")
+	}
+	if cfg.ForestTrees <= 0 {
+		cfg.ForestTrees = 30
+	}
+	if cfg.ForestDepth <= 0 {
+		cfg.ForestDepth = 10
+	}
+	if cfg.DeployDepth <= 0 {
+		cfg.DeployDepth = 4
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 0.9
+	}
+	ds := l.PacketDataset(cfg.Target, 1.0)
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("core: data store has no packets to learn from")
+	}
+	counts := ds.ClassCounts()
+	if counts[1] == 0 {
+		return nil, fmt.Errorf("core: no %v examples in the store", cfg.Target)
+	}
+	ds.Shuffle(cfg.Seed)
+	train, test := ds.Split(0.7)
+
+	forest, err := ml.FitForest(train, 2, ml.ForestConfig{
+		Trees: cfg.ForestTrees, MaxDepth: cfg.ForestDepth, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: training black box: %w", err)
+	}
+	ex, err := xai.Extract(forest, train, xai.ExtractConfig{
+		MaxDepth: cfg.DeployDepth, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting deployable model: %w", err)
+	}
+	dropProg, err := dataplane.Compile(ex.Tree, features.PacketSchema, dataplane.CompileConfig{
+		Name:        fmt.Sprintf("%s-%v-drop", l.cfg.Name, cfg.Target),
+		DropClasses: []int{1}, MinConfidence: cfg.MinConfidence,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling drop program: %w", err)
+	}
+	alertProg, err := dataplane.Compile(ex.Tree, features.PacketSchema, dataplane.CompileConfig{
+		Name: fmt.Sprintf("%s-%v-alert", l.cfg.Name, cfg.Target),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling alert program: %w", err)
+	}
+	classNames := func(c int) string {
+		if c == 1 {
+			return cfg.Target.String()
+		}
+		return "benign"
+	}
+	return &Deployment{
+		BlackBox:             forest,
+		Extraction:           ex,
+		DropProgram:          dropProg,
+		AlertProgram:         alertProg,
+		Rules:                xai.RuleSet(ex.Tree, features.PacketSchema, classNames),
+		TrainAccuracy:        ml.Evaluate(ex.Tree, train).Accuracy(),
+		TestAccuracy:         ml.Evaluate(ex.Tree, test).Accuracy(),
+		BlackBoxTestAccuracy: ml.Evaluate(forest, test).Accuracy(),
+	}, nil
+}
+
+// RoadTest deploys the deployable model on a fresh simulated campus and
+// replays a held-out scenario through it (Figure 1, right half).
+func (l *Lab) RoadTest(dep *Deployment, tier control.Tier, scenario traffic.Generator, spec roadtest.Spec) (*roadtest.Report, error) {
+	loopCfg := control.LoopConfig{Tier: tier, Threshold: 0.9, Window: time.Second, MinEvidence: 30}
+	switch tier {
+	case control.TierDataPlane:
+		loopCfg.Program = dep.DropProgram
+	case control.TierControlPlane:
+		loopCfg.Program = dep.AlertProgram
+		loopCfg.Model = dep.Extraction.Tree
+	case control.TierCloud:
+		loopCfg.Program = dep.AlertProgram
+		loopCfg.Model = dep.BlackBox
+	default:
+		return nil, fmt.Errorf("core: unknown tier %v", tier)
+	}
+	return roadtest.Run(roadtest.Config{
+		Plan:     l.cfg.Plan,
+		Net:      netsim.Config{HostsPerAccess: 25},
+		Loop:     loopCfg,
+		Scenario: scenario,
+		Spec:     spec,
+	})
+}

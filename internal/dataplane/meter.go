@@ -1,0 +1,57 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+)
+
+// TokenBucket is the switch meter primitive (P4 meters, simplified to a
+// single-rate two-color marker): traffic within rate+burst conforms,
+// excess is marked for drop. Mitigations can rate-limit a victim's inbound
+// UDP instead of blackholing it — less collateral than a hard drop.
+type TokenBucket struct {
+	rateBps float64 // refill rate in bytes/second
+	burst   float64 // bucket depth in bytes
+	tokens  float64
+	last    time.Duration
+	started bool
+
+	conformed uint64
+	exceeded  uint64
+}
+
+// NewTokenBucket builds a meter passing rateBps bytes/second with the
+// given burst allowance.
+func NewTokenBucket(rateBps, burst float64) (*TokenBucket, error) {
+	if rateBps <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("dataplane: meter rate and burst must be positive (got %v, %v)", rateBps, burst)
+	}
+	return &TokenBucket{rateBps: rateBps, burst: burst, tokens: burst}, nil
+}
+
+// Conforms charges size bytes at time ts, reporting whether the packet is
+// within profile. Calls must have non-decreasing ts.
+func (tb *TokenBucket) Conforms(ts time.Duration, size int) bool {
+	if !tb.started {
+		tb.last, tb.started = ts, true
+	}
+	if ts > tb.last {
+		tb.tokens += (ts - tb.last).Seconds() * tb.rateBps
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = ts
+	}
+	if float64(size) <= tb.tokens {
+		tb.tokens -= float64(size)
+		tb.conformed++
+		return true
+	}
+	tb.exceeded++
+	return false
+}
+
+// Stats returns conforming and exceeding packet counts.
+func (tb *TokenBucket) Stats() (conformed, exceeded uint64) {
+	return tb.conformed, tb.exceeded
+}

@@ -1,0 +1,271 @@
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"campuslab/internal/packet"
+)
+
+// FieldVector is the per-packet header view the pipeline matches on.
+type FieldVector struct {
+	vals [NumFields]uint32
+}
+
+// Get returns the value of field f.
+func (fv *FieldVector) Get(f Field) uint32 { return fv.vals[f] }
+
+// Set assigns field f (tests and synthetic traffic).
+func (fv *FieldVector) Set(f Field, v uint32) { fv.vals[f] = v }
+
+// FromSummary fills the vector from a parsed packet summary — the switch
+// "parser" stage.
+func (fv *FieldVector) FromSummary(s *packet.Summary) {
+	fv.vals[FieldWireLen] = clampU32(s.WireLen)
+	fv.vals[FieldIsUDP] = b2u(s.HasUDP)
+	fv.vals[FieldIsTCP] = b2u(s.HasTCP)
+	fv.vals[FieldDstPort] = uint32(s.Tuple.DstPort)
+	fv.vals[FieldSrcPort] = uint32(s.Tuple.SrcPort)
+	fv.vals[FieldSynNoAck] = b2u(s.HasTCP && s.TCPFlags.Has(packet.TCPSyn) && !s.TCPFlags.Has(packet.TCPAck))
+	fv.vals[FieldDNSResp] = b2u(s.IsDNS && s.DNSResponse)
+	fv.vals[FieldDNSAny] = b2u(s.IsDNS && s.DNSQueryType == packet.DNSTypeANY)
+	fv.vals[FieldDNSAnswers] = clampU32(s.DNSAnswerCnt)
+	fv.vals[FieldTTL] = uint32(s.TTL)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clampU32(v int) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xffff {
+		return 0xffff
+	}
+	return uint32(v)
+}
+
+// Verdict is the pipeline's decision for one packet.
+type Verdict struct {
+	Action     ActionKind
+	Class      int
+	Confidence float64
+	// RuleIndex is the matching classification rule, -1 for default or
+	// filter-table hits.
+	RuleIndex int
+	// FilterHit reports the packet matched an installed runtime filter.
+	FilterHit bool
+}
+
+// FilterKey is an exact-match runtime filter entry key: drop traffic to a
+// victim, optionally narrowed by source and port.
+type FilterKey struct {
+	DstIP   netip.Addr
+	SrcIP   netip.Addr        // zero value = wildcard
+	DstPort uint16            // 0 = wildcard
+	Proto   packet.IPProtocol // 0 = wildcard
+}
+
+// Switch is the software programmable switch: a loaded classification
+// program plus a runtime exact-match filter table the control plane
+// installs mitigations into. Safe for concurrent use.
+type Switch struct {
+	mu      sync.RWMutex
+	prog    *Program
+	res     Resources
+	filters map[FilterKey]ActionKind
+	meters  map[FilterKey]*TokenBucket
+
+	// counters
+	processed  uint64
+	dropped    uint64
+	alerted    uint64
+	punted     uint64
+	filterHits uint64
+	perRule    []uint64
+}
+
+// NewSwitch creates a switch with the given resource budget.
+func NewSwitch(res Resources) *Switch {
+	return &Switch{
+		res:     res,
+		filters: make(map[FilterKey]ActionKind),
+		meters:  make(map[FilterKey]*TokenBucket),
+	}
+}
+
+// Load installs the classification program after a resource fit check.
+func (sw *Switch) Load(prog *Program) error {
+	if rep := sw.res.Fit(prog); !rep.Fits {
+		return fmt.Errorf("dataplane: program %q does not fit: %s", prog.Name, rep.Reason)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.prog = prog
+	sw.perRule = make([]uint64, len(prog.Rules))
+	return nil
+}
+
+// Program returns the loaded program (nil if none).
+func (sw *Switch) Program() *Program {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	return sw.prog
+}
+
+// InstallFilter adds a runtime filter entry, honoring the exact-match
+// table budget.
+func (sw *Switch) InstallFilter(key FilterKey, action ActionKind) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, exists := sw.filters[key]; !exists && len(sw.filters) >= sw.res.ExactEntries {
+		return fmt.Errorf("dataplane: filter table full (%d entries)", sw.res.ExactEntries)
+	}
+	sw.filters[key] = action
+	return nil
+}
+
+// InstallRateLimit attaches a meter to a filter key: matching traffic is
+// passed within rateBps bytes/second (+burst) and dropped beyond — the
+// softer mitigation for victims that still need their protocol to work.
+func (sw *Switch) InstallRateLimit(key FilterKey, rateBps, burst float64) error {
+	tb, err := NewTokenBucket(rateBps, burst)
+	if err != nil {
+		return err
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, exists := sw.meters[key]; !exists && len(sw.filters)+len(sw.meters) >= sw.res.ExactEntries {
+		return fmt.Errorf("dataplane: filter table full (%d entries)", sw.res.ExactEntries)
+	}
+	sw.meters[key] = tb
+	return nil
+}
+
+// RemoveFilter deletes a filter or meter entry, reporting whether it
+// existed.
+func (sw *Switch) RemoveFilter(key FilterKey) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	_, ok := sw.filters[key]
+	_, mok := sw.meters[key]
+	delete(sw.filters, key)
+	delete(sw.meters, key)
+	return ok || mok
+}
+
+// FilterCount returns the number of installed filters and meters.
+func (sw *Switch) FilterCount() int {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	return len(sw.filters) + len(sw.meters)
+}
+
+// Process runs one packet through the pipeline with no timestamp (meters
+// see t=0); prefer ProcessAt when replaying timed traffic.
+func (sw *Switch) Process(s *packet.Summary) Verdict { return sw.ProcessAt(0, s) }
+
+// ProcessAt runs one packet summary through the pipeline at time ts:
+// runtime filters first (mitigations beat classification), then meters,
+// then the program rules, then the default action.
+func (sw *Switch) ProcessAt(ts time.Duration, s *packet.Summary) Verdict {
+	var fv FieldVector
+	fv.FromSummary(s)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.processed++
+
+	// Exact-match filter lookups: most- to least-specific. Also probes
+	// the source-only form so scan mitigations can block an offender.
+	if len(sw.filters) > 0 || len(sw.meters) > 0 {
+		keys := [5]FilterKey{
+			{DstIP: s.Tuple.DstIP, SrcIP: s.Tuple.SrcIP, DstPort: s.Tuple.DstPort, Proto: s.Tuple.Proto},
+			{DstIP: s.Tuple.DstIP, DstPort: s.Tuple.DstPort, Proto: s.Tuple.Proto},
+			{DstIP: s.Tuple.DstIP, Proto: s.Tuple.Proto},
+			{DstIP: s.Tuple.DstIP},
+			{SrcIP: s.Tuple.SrcIP},
+		}
+		for _, k := range keys {
+			if act, ok := sw.filters[k]; ok {
+				sw.filterHits++
+				sw.tally(act)
+				return Verdict{Action: act, RuleIndex: -1, FilterHit: true}
+			}
+			if tb, ok := sw.meters[k]; ok {
+				sw.filterHits++
+				if tb.Conforms(ts, s.WireLen) {
+					return Verdict{Action: ActionPermit, RuleIndex: -1, FilterHit: true}
+				}
+				sw.tally(ActionDrop)
+				return Verdict{Action: ActionDrop, RuleIndex: -1, FilterHit: true}
+			}
+		}
+	}
+
+	if sw.prog != nil {
+		for i := range sw.prog.Rules {
+			r := &sw.prog.Rules[i]
+			if r.Matches(&fv) {
+				sw.perRule[i]++
+				sw.tally(r.Action)
+				return Verdict{
+					Action: r.Action, Class: r.Class,
+					Confidence: r.Confidence, RuleIndex: i,
+				}
+			}
+		}
+		sw.tally(sw.prog.Default)
+		return Verdict{Action: sw.prog.Default, RuleIndex: -1}
+	}
+	return Verdict{Action: ActionPermit, RuleIndex: -1}
+}
+
+func (sw *Switch) tally(a ActionKind) {
+	switch a {
+	case ActionDrop:
+		sw.dropped++
+	case ActionAlert:
+		sw.alerted++
+	case ActionPunt:
+		sw.punted++
+	}
+}
+
+// SwitchStats is the switch's counter snapshot.
+type SwitchStats struct {
+	Processed  uint64
+	Dropped    uint64
+	Alerted    uint64
+	Punted     uint64
+	FilterHits uint64
+	PerRule    []uint64
+}
+
+// Stats returns a snapshot of all counters.
+func (sw *Switch) Stats() SwitchStats {
+	sw.mu.RLock()
+	defer sw.mu.RUnlock()
+	return SwitchStats{
+		Processed:  sw.processed,
+		Dropped:    sw.dropped,
+		Alerted:    sw.alerted,
+		Punted:     sw.punted,
+		FilterHits: sw.filterHits,
+		PerRule:    append([]uint64(nil), sw.perRule...),
+	}
+}
+
+// ResetCounters zeroes all counters (not the tables).
+func (sw *Switch) ResetCounters() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.processed, sw.dropped, sw.alerted, sw.punted, sw.filterHits = 0, 0, 0, 0, 0
+	clear(sw.perRule)
+}

@@ -1,0 +1,334 @@
+package datastore
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"campuslab/internal/eventlog"
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// fillStore ingests a small deterministic scenario: benign campus traffic
+// plus a DNS amplification episode.
+func fillStore(t testing.TB) *Store {
+	t.Helper()
+	plan := traffic.DefaultPlan(50)
+	benign := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 80, Duration: 4 * time.Second, Seed: 21})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(5),
+		Start: time.Second, Duration: 2 * time.Second, Rate: 400, Seed: 22,
+	})
+	g := traffic.NewMerge(benign, amp)
+	st := New()
+	var f traffic.Frame
+	for g.Next(&f) {
+		st.IngestFrame(&f)
+	}
+	return st
+}
+
+func TestIngestAndStats(t *testing.T) {
+	st := fillStore(t)
+	stats := st.Stats()
+	if stats.Packets == 0 || stats.Flows == 0 || stats.DataBytes == 0 {
+		t.Fatalf("empty stats: %+v", stats)
+	}
+	if stats.Span <= 0 || stats.Span > 5*time.Second {
+		t.Errorf("span = %v", stats.Span)
+	}
+	if stats.BytesPerSecond() <= 0 {
+		t.Error("no accrual rate")
+	}
+	// Retention projection scales linearly.
+	day := stats.ProjectRetention(24 * time.Hour)
+	week := stats.ProjectRetention(7 * 24 * time.Hour)
+	if week < day*6 || week > day*8 {
+		t.Errorf("retention projection not linear: day=%d week=%d", day, week)
+	}
+}
+
+func TestFlowAggregation(t *testing.T) {
+	st := New()
+	// Two packets, same flow, opposite directions.
+	buf := packet.NewSerializeBuffer()
+	mk := func(src, dst string, sport, dport uint16, flags packet.TCPFlags) []byte {
+		err := packet.Serialize(buf,
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{TTL: 64, Protocol: packet.IPProtocolTCP,
+				SrcIP: netip.MustParseAddr(src), DstIP: netip.MustParseAddr(dst)},
+			&packet.TCP{SrcPort: sport, DstPort: dport, Flags: flags},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), buf.Bytes()...)
+	}
+	st.Ingest(0, 0, mk("10.0.0.1", "93.184.216.34", 5000, 443, packet.TCPSyn))
+	st.Ingest(time.Millisecond, 0, mk("93.184.216.34", "10.0.0.1", 443, 5000, packet.TCPSyn|packet.TCPAck))
+	key := packet.FiveTuple{
+		Proto: packet.IPProtocolTCP,
+		SrcIP: netip.MustParseAddr("10.0.0.1"), DstIP: netip.MustParseAddr("93.184.216.34"),
+		SrcPort: 5000, DstPort: 443,
+	}
+	fm, ok := st.Flow(key)
+	if !ok {
+		t.Fatal("flow not found")
+	}
+	if fm.Packets != 2 {
+		t.Errorf("flow packets = %d, want 2 (bidirectional)", fm.Packets)
+	}
+	if !fm.TCPFlags.Has(packet.TCPSyn | packet.TCPAck) {
+		t.Errorf("flags = %v", fm.TCPFlags)
+	}
+	if len(fm.PacketIDs()) != 2 {
+		t.Errorf("packet ids = %v", fm.PacketIDs())
+	}
+	// Lookup by reverse tuple finds the same flow.
+	if _, ok := st.Flow(key.Reverse()); !ok {
+		t.Error("reverse lookup failed")
+	}
+}
+
+func TestGroundTruthLabels(t *testing.T) {
+	st := fillStore(t)
+	counts := st.LabelCounts()
+	if counts[traffic.LabelDNSAmp] == 0 {
+		t.Fatal("no dns-amp flows labeled")
+	}
+	if counts[traffic.LabelBenign] == 0 {
+		t.Fatal("no benign flows")
+	}
+	attacks := st.FlowsWhere(func(fm *FlowMeta) bool { return fm.Label == traffic.LabelDNSAmp })
+	for _, fm := range attacks {
+		if !fm.Labeled {
+			t.Error("attack flow not marked labeled")
+		}
+		if fm.DNSResponses == 0 {
+			t.Error("dns-amp flow has no DNS responses")
+		}
+	}
+}
+
+func TestLabelFlowErrors(t *testing.T) {
+	st := New()
+	err := st.LabelFlow(packet.FiveTuple{Proto: packet.IPProtocolTCP}, traffic.LabelBeacon)
+	if err == nil {
+		t.Error("labeled a nonexistent flow")
+	}
+}
+
+func TestPacketLookup(t *testing.T) {
+	st := fillStore(t)
+	sp, ok := st.Packet(0)
+	if !ok || sp.ID != 0 {
+		t.Fatal("packet 0 not found")
+	}
+	if _, ok := st.Packet(PacketID(1 << 40)); ok {
+		t.Error("found nonexistent packet")
+	}
+}
+
+func TestEventsIntegration(t *testing.T) {
+	st := New()
+	evs := eventlog.NewGenerator(eventlog.GeneratorConfig{Source: eventlog.SourceFirewall, Rate: 10, Seed: 3}).Generate(10 * time.Second)
+	st.AddEvents(evs)
+	got := st.EventsBetween(2*time.Second, 4*time.Second)
+	for _, e := range got {
+		if e.TS < 2*time.Second || e.TS >= 4*time.Second {
+			t.Fatalf("event at %v outside window", e.TS)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("no events in window")
+	}
+	if st.Stats().Events != uint64(len(evs)) {
+		t.Error("event count wrong")
+	}
+}
+
+func TestEvictBefore(t *testing.T) {
+	st := fillStore(t)
+	before := st.Stats()
+	evicted := st.EvictBefore(2 * time.Second)
+	if evicted == 0 {
+		t.Fatal("nothing evicted")
+	}
+	after := st.Stats()
+	if after.Packets != before.Packets-uint64(evicted) {
+		t.Errorf("packets = %d, want %d", after.Packets, before.Packets-uint64(evicted))
+	}
+	if after.DataBytes >= before.DataBytes {
+		t.Error("data bytes did not shrink")
+	}
+	// All remaining packets at or after the cut.
+	st.Scan(func(sp *StoredPacket) bool {
+		if sp.TS < 2*time.Second {
+			t.Errorf("packet at %v survived eviction", sp.TS)
+			return false
+		}
+		return true
+	})
+	if st.EvictBefore(0) != 0 {
+		t.Error("evicting before 0 removed packets")
+	}
+}
+
+func TestFilterLanguage(t *testing.T) {
+	st := fillStore(t)
+	cases := []struct {
+		expr  string
+		check func(*StoredPacket) bool
+	}{
+		{"proto == udp", func(sp *StoredPacket) bool { return sp.Summary.Tuple.Proto == packet.IPProtocolUDP }},
+		{"dns && dns.resp", func(sp *StoredPacket) bool { return sp.Summary.IsDNS && sp.Summary.DNSResponse }},
+		{"dns.qtype == ANY", func(sp *StoredPacket) bool { return sp.Summary.DNSQueryType == packet.DNSTypeANY }},
+		{"len > 1000", func(sp *StoredPacket) bool { return sp.Summary.WireLen > 1000 }},
+		{"tcp.syn && !tcp.ack", func(sp *StoredPacket) bool {
+			return sp.Summary.HasTCP && sp.Summary.TCPFlags.Has(packet.TCPSyn) && !sp.Summary.TCPFlags.Has(packet.TCPAck)
+		}},
+		{"src.ip in 10.0.0.0/8", func(sp *StoredPacket) bool {
+			return netip.MustParsePrefix("10.0.0.0/8").Contains(sp.Summary.Tuple.SrcIP)
+		}},
+		{"dst.port == 53 || src.port == 53", func(sp *StoredPacket) bool {
+			return sp.Summary.Tuple.DstPort == 53 || sp.Summary.Tuple.SrcPort == 53
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.expr, func(t *testing.T) {
+			got, err := st.SelectExpr(c.expr, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 0 {
+				t.Fatalf("no matches for %q in the test scenario", c.expr)
+			}
+			for i := range got {
+				if !c.check(&got[i]) {
+					t.Fatalf("false positive for %q: %+v", c.expr, got[i].Summary)
+				}
+			}
+			// Exhaustiveness: manual count equals Count().
+			want := 0
+			st.Scan(func(sp *StoredPacket) bool {
+				if c.check(sp) {
+					want++
+				}
+				return true
+			})
+			f := MustFilter(c.expr)
+			if n := st.Count(f); n != want {
+				t.Errorf("Count = %d, want %d", n, want)
+			}
+		})
+	}
+}
+
+func TestFilterTimeBoundsUsed(t *testing.T) {
+	st := fillStore(t)
+	f := MustFilter("ts >= 1s && ts < 2s && udp")
+	min, max, hasMin, hasMax := f.TimeBounds()
+	if !hasMin || !hasMax || min != time.Second || max != 2*time.Second {
+		t.Fatalf("bounds = %v..%v (%v/%v)", min, max, hasMin, hasMax)
+	}
+	for _, sp := range st.Select(f, 0) {
+		if sp.TS < time.Second || sp.TS >= 2*time.Second+time.Nanosecond {
+			t.Fatalf("packet at %v outside bounds", sp.TS)
+		}
+	}
+}
+
+func TestFilterParseErrors(t *testing.T) {
+	bad := []string{
+		"", "proto ==", "len > abc", "bogusfield == 3", "proto == udp &&",
+		"(proto == udp", "src.ip in notacidr", "ts > 5s trailing",
+		"dns.qtype == NOPE", "proto < tcp",
+	}
+	for _, expr := range bad {
+		if _, err := ParseFilter(expr); err == nil {
+			t.Errorf("accepted %q", expr)
+		}
+	}
+}
+
+func TestFilterLimit(t *testing.T) {
+	st := fillStore(t)
+	got, err := st.SelectExpr("ip", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+}
+
+func TestSelectExprBadFilter(t *testing.T) {
+	st := New()
+	if _, err := st.SelectExpr("bogus ==", 0); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+func TestPacketsBetween(t *testing.T) {
+	st := fillStore(t)
+	got := st.PacketsBetween(time.Second, 2*time.Second)
+	if len(got) == 0 {
+		t.Fatal("no packets in window")
+	}
+	for i := range got {
+		if got[i].TS < time.Second || got[i].TS >= 2*time.Second {
+			t.Fatal("packet outside window")
+		}
+	}
+	// Windows partition the stream.
+	a := len(st.PacketsBetween(0, 2*time.Second))
+	b := len(st.PacketsBetween(2*time.Second, 100*time.Second))
+	if uint64(a+b) != st.Stats().Packets {
+		t.Errorf("window partition %d+%d != %d", a, b, st.Stats().Packets)
+	}
+}
+
+func TestIngestClampsReordering(t *testing.T) {
+	st := New()
+	data := make([]byte, 60)
+	st.Ingest(5*time.Second, 0, data)
+	st.Ingest(3*time.Second, 0, data) // out of order: clamped to 5s
+	pkts := st.PacketsBetween(0, 100*time.Second)
+	if len(pkts) != 2 || pkts[1].TS < pkts[0].TS {
+		t.Error("time index corrupted by reordered ingest")
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	g := traffic.NewCampus(traffic.Profile{FlowsPerSecond: 1000, Duration: time.Hour, Seed: 1})
+	frames := traffic.Collect(g, 10000)
+	st := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &frames[i%len(frames)]
+		st.Ingest(time.Duration(i), 0, f.Data)
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) {
+	st := fillStore(b)
+	f := MustFilter(fmt.Sprintf("ts >= %s && ts < %s && dns", "1s", "1100ms"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Select(f, 0)
+	}
+}
+
+func BenchmarkSelectFullScan(b *testing.B) {
+	st := fillStore(b)
+	f := MustFilter("dns && dns.qtype == ANY")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Select(f, 0)
+	}
+}

@@ -1,0 +1,179 @@
+package datastore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"campuslab/internal/eventlog"
+	"campuslab/internal/traffic"
+)
+
+// The persistence format is a simple length-prefixed binary stream:
+//
+//	header:  magic "CLDS" | version u16 | packet count u64 | event count u64
+//	packet:  ts i64 | link u16 | label u8 | actor u8 | len u32 | bytes
+//	event:   ts i64 | source u8 | severity u8 | hostLen u16 | host |
+//	         msgLen u32 | msg
+//
+// Flow metadata and indexes are rebuilt on load (they are derived data),
+// which keeps the format stable across index-layout changes — the same
+// choice real capture stores make.
+
+const (
+	persistMagic   = "CLDS"
+	persistVersion = 1
+)
+
+// ErrBadSnapshot reports a corrupt or incompatible snapshot stream.
+var ErrBadSnapshot = errors.New("datastore: bad snapshot")
+
+// Save writes the store's packets and events to w. The store remains
+// usable; concurrent ingest during Save is blocked by the store lock.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	var scratch [12]byte
+	binary.LittleEndian.PutUint16(scratch[:2], persistVersion)
+	if _, err := bw.Write(scratch[:2]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(s.packets)))
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(s.events)))
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		return err
+	}
+	for i := range s.packets {
+		sp := &s.packets[i]
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(sp.TS))
+		binary.LittleEndian.PutUint16(scratch[8:10], sp.Link)
+		scratch[10] = byte(sp.Label)
+		scratch[11] = 0
+		if sp.Actor {
+			scratch[11] = 1
+		}
+		if _, err := bw.Write(scratch[:12]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(sp.Data)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(sp.Data); err != nil {
+			return err
+		}
+	}
+	for i := range s.events {
+		ev := &s.events[i]
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(ev.TS))
+		scratch[8] = byte(ev.Source)
+		scratch[9] = byte(ev.Severity)
+		binary.LittleEndian.PutUint16(scratch[10:12], uint16(len(ev.Host)))
+		if _, err := bw.Write(scratch[:12]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(ev.Host); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(ev.Message)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(ev.Message); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot into a fresh store, re-ingesting every packet so
+// all indexes and flow metadata are rebuilt.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 4+2+8+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	if string(head[:4]) != persistMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != persistVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, v)
+	}
+	nPkts := binary.LittleEndian.Uint64(head[6:14])
+	nEvts := binary.LittleEndian.Uint64(head[14:22])
+
+	st := New()
+	var scratch [12]byte
+	var f traffic.Frame
+	for i := uint64(0); i < nPkts; i++ {
+		if _, err := io.ReadFull(br, scratch[:12]); err != nil {
+			return nil, fmt.Errorf("%w: packet %d header: %v", ErrBadSnapshot, i, err)
+		}
+		f.TS = time.Duration(binary.LittleEndian.Uint64(scratch[:8]))
+		link := binary.LittleEndian.Uint16(scratch[8:10])
+		f.Label = traffic.Label(scratch[10])
+		f.Actor = scratch[11] == 1
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, fmt.Errorf("%w: packet %d len: %v", ErrBadSnapshot, i, err)
+		}
+		n := binary.LittleEndian.Uint32(scratch[:4])
+		if n > 1<<20 {
+			return nil, fmt.Errorf("%w: packet %d claims %d bytes", ErrBadSnapshot, i, n)
+		}
+		f.Data = make([]byte, n)
+		if _, err := io.ReadFull(br, f.Data); err != nil {
+			return nil, fmt.Errorf("%w: packet %d body: %v", ErrBadSnapshot, i, err)
+		}
+		id := st.IngestFrame(&f)
+		// Restore the link id lost by IngestFrame's single-tap default.
+		st.mu.Lock()
+		if sp := st.locked(id); sp != nil {
+			sp.Link = link
+		}
+		st.mu.Unlock()
+	}
+	evs := make([]eventlog.Event, 0, nEvts)
+	for i := uint64(0); i < nEvts; i++ {
+		if _, err := io.ReadFull(br, scratch[:12]); err != nil {
+			return nil, fmt.Errorf("%w: event %d header: %v", ErrBadSnapshot, i, err)
+		}
+		var ev eventlog.Event
+		ev.TS = time.Duration(binary.LittleEndian.Uint64(scratch[:8]))
+		ev.Source = eventlog.Source(scratch[8])
+		ev.Severity = eventlog.Severity(scratch[9])
+		hostLen := binary.LittleEndian.Uint16(scratch[10:12])
+		host := make([]byte, hostLen)
+		if _, err := io.ReadFull(br, host); err != nil {
+			return nil, fmt.Errorf("%w: event %d host: %v", ErrBadSnapshot, i, err)
+		}
+		ev.Host = string(host)
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, fmt.Errorf("%w: event %d msg len: %v", ErrBadSnapshot, i, err)
+		}
+		msgLen := binary.LittleEndian.Uint32(scratch[:4])
+		if msgLen > 1<<20 {
+			return nil, fmt.Errorf("%w: event %d claims %d-byte message", ErrBadSnapshot, i, msgLen)
+		}
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(br, msg); err != nil {
+			return nil, fmt.Errorf("%w: event %d msg: %v", ErrBadSnapshot, i, err)
+		}
+		ev.Message = string(msg)
+		evs = append(evs, ev)
+	}
+	if len(evs) > 0 {
+		st.AddEvents(evs)
+	}
+	return st, nil
+}

@@ -1,0 +1,176 @@
+package datastore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"campuslab/internal/eventlog"
+	"campuslab/internal/traffic"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := fillStore(t)
+	evs := eventlog.NewGenerator(eventlog.GeneratorConfig{Source: eventlog.SourceIDS, Rate: 5, Seed: 1}).Generate(4 * time.Second)
+	st.AddEvents(evs)
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := st.Stats(), got.Stats()
+	if a.Packets != b.Packets || a.Flows != b.Flows || a.Events != b.Events || a.DataBytes != b.DataBytes {
+		t.Fatalf("stats mismatch: %+v vs %+v", a, b)
+	}
+	// Ground truth survives: label counts identical.
+	ac, bc := st.LabelCounts(), got.LabelCounts()
+	for l, n := range ac {
+		if bc[l] != n {
+			t.Errorf("label %v: %d vs %d", l, bc[l], n)
+		}
+	}
+	// Query results identical.
+	f := MustFilter("dns && dns.qtype == ANY")
+	if st.Count(f) != got.Count(f) {
+		t.Errorf("query counts differ: %d vs %d", st.Count(f), got.Count(f))
+	}
+	// Packet bytes identical in order.
+	orig := st.PacketsBetween(0, 1<<62)
+	loaded := got.PacketsBetween(0, 1<<62)
+	if len(orig) != len(loaded) {
+		t.Fatal("packet counts differ")
+	}
+	for i := range orig {
+		if !bytes.Equal(orig[i].Data, loaded[i].Data) || orig[i].TS != loaded[i].TS {
+			t.Fatalf("packet %d differs", i)
+		}
+		if orig[i].Label != loaded[i].Label || orig[i].Actor != loaded[i].Actor {
+			t.Fatalf("packet %d ground truth lost", i)
+		}
+	}
+	// Events identical.
+	oe, le := st.EventsBetween(0, 1<<62), got.EventsBetween(0, 1<<62)
+	for i := range oe {
+		if oe[i].TS != le[i].TS || oe[i].Message != le[i].Message || oe[i].Host != le[i].Host {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a snapshot at all........"),
+		append([]byte("CLDS"), make([]byte, 18)...), // version 0
+	}
+	for i, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("case %d: want ErrBadSnapshot, got %v", i, err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	st := fillStore(t)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{30, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("cut at %d: want ErrBadSnapshot, got %v", cut, err)
+		}
+	}
+}
+
+func TestLoadRejectsAbsurdLengths(t *testing.T) {
+	// Header claiming one packet with a 100 MiB body.
+	var buf bytes.Buffer
+	buf.WriteString("CLDS")
+	buf.Write([]byte{1, 0})                   // version
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // 1 packet
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // 0 events
+	buf.Write(make([]byte, 12))               // packet header
+	buf.Write([]byte{0, 0, 0, 0x40})          // len = 1 GiB-ish
+	if _, err := Load(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("want ErrBadSnapshot, got %v", err)
+	}
+}
+
+func TestSaveLoadEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats().Packets != 0 {
+		t.Error("empty store not empty after round trip")
+	}
+}
+
+func TestSaveLoadPropertySmall(t *testing.T) {
+	// Property: any batch of tiny synthetic frames survives a round trip.
+	fn := func(payloads [][]byte) bool {
+		st := New()
+		for i, p := range payloads {
+			if len(p) > 512 {
+				p = p[:512]
+			}
+			f := traffic.Frame{TS: time.Duration(i) * time.Millisecond, Data: p}
+			st.IngestFrame(&f)
+		}
+		var buf bytes.Buffer
+		if err := st.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Stats().Packets == st.Stats().Packets &&
+			got.Stats().DataBytes == st.Stats().DataBytes
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSave(b *testing.B) {
+	st := fillStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := st.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	st := fillStore(b)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package datastore
+
+import (
+	"sort"
+	"time"
+
+	"campuslab/internal/traffic"
+)
+
+// Select scans the store for packets matching the filter, using the time
+// index to skip ranges the expression excludes. limit 0 means unlimited.
+func (s *Store) Select(f *Filter, limit int) []StoredPacket {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo, hi := 0, len(s.packets)
+	if min, _, hasMin, _ := f.TimeBounds(); hasMin {
+		lo = sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= min })
+	}
+	if _, max, _, hasMax := f.TimeBounds(); hasMax {
+		hi = sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS > max })
+	}
+	var out []StoredPacket
+	for i := lo; i < hi; i++ {
+		if f.Match(&s.packets[i]) {
+			out = append(out, s.packets[i])
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of packets matching the filter.
+func (s *Store) Count(f *Filter) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for i := range s.packets {
+		if f.Match(&s.packets[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectExpr parses expr and runs Select.
+func (s *Store) SelectExpr(expr string, limit int) ([]StoredPacket, error) {
+	f, err := ParseFilter(expr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Select(f, limit), nil
+}
+
+// PacketsBetween returns packets in [from, to), via the time index.
+func (s *Store) PacketsBetween(from, to time.Duration) []StoredPacket {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= from })
+	hi := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= to })
+	out := make([]StoredPacket, hi-lo)
+	copy(out, s.packets[lo:hi])
+	return out
+}
+
+// Scan streams every stored packet through visit in time order, stopping
+// early if visit returns false. It holds the read lock for the duration;
+// visitors must be fast and must not call back into the store.
+func (s *Store) Scan(visit func(*StoredPacket) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.packets {
+		if !visit(&s.packets[i]) {
+			return
+		}
+	}
+}
+
+// FlowsWhere returns flow metadata satisfying pred, ordered by first TS.
+func (s *Store) FlowsWhere(pred func(*FlowMeta) bool) []FlowMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []FlowMeta
+	for _, fm := range s.flows {
+		if pred(fm) {
+			cp := *fm
+			cp.pktIDs = nil
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		return out[i].Key.Hash() < out[j].Key.Hash()
+	})
+	return out
+}
+
+// LabelCounts tallies flows per ground-truth label — the class balance a
+// dataset builder needs before training.
+func (s *Store) LabelCounts() map[traffic.Label]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[traffic.Label]int)
+	for _, fm := range s.flows {
+		out[fm.Label]++
+	}
+	return out
+}

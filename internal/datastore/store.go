@@ -1,0 +1,314 @@
+// Package datastore implements the paper's §5 data store: "a single
+// platform for collecting, storing, indexing, mining, and visualizing
+// network data" — packet records with time and flow indexes, on-the-fly
+// metadata, labels, linkage to complementary sensor events, a filter query
+// language, and retention/storage accounting.
+package datastore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"campuslab/internal/eventlog"
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// PacketID identifies one stored packet.
+type PacketID uint64
+
+// StoredPacket is one packet record with its on-the-fly metadata (the
+// parsed Summary), kept alongside the raw bytes.
+type StoredPacket struct {
+	ID      PacketID
+	TS      time.Duration
+	Link    uint16
+	Summary packet.Summary
+	Data    []byte
+	// Label/Actor carry per-packet ground truth when the packet came
+	// from a labeled generator (zero values otherwise). Actor marks the
+	// packet's source as the malicious actor, not a victim response.
+	Label traffic.Label
+	Actor bool
+}
+
+// FlowKey is the canonical five-tuple a flow is indexed under.
+type FlowKey = packet.FiveTuple
+
+// FlowMeta is the per-flow aggregate the store maintains incrementally —
+// the "extensive set of on-the-fly generated metadata".
+type FlowMeta struct {
+	Key          FlowKey
+	First        time.Duration
+	Last         time.Duration
+	Packets      uint64
+	Bytes        uint64
+	PayloadBytes uint64
+	TCPFlags     packet.TCPFlags
+	DNSQueries   uint32
+	DNSResponses uint32
+	DNSAnyCount  uint32        // DNS messages with QTYPE=ANY (amplification tell)
+	Label        traffic.Label // ground truth if registered, else benign
+	Labeled      bool
+	pktIDs       []PacketID
+}
+
+// PacketIDs returns the IDs of this flow's packets in arrival order.
+func (m *FlowMeta) PacketIDs() []PacketID { return m.pktIDs }
+
+// Store is the campus data store. Safe for one writer and many readers.
+type Store struct {
+	mu      sync.RWMutex
+	packets []StoredPacket // time-ordered (ingest order)
+	flows   map[FlowKey]*FlowMeta
+	events  []eventlog.Event // time-ordered after AddEvents sorts
+
+	dataBytes  uint64
+	indexBytes uint64
+
+	parser packet.FlowParser
+	nextID PacketID
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{flows: make(map[FlowKey]*FlowMeta)}
+}
+
+// Ingest parses and stores one frame captured at ts on the given link.
+// Frames must arrive in non-decreasing timestamp order (the capture
+// pipeline guarantees this per tap; multi-tap ingest should merge first).
+// Unparseable frames are stored with an empty summary so the "everything
+// seen on the wire" contract holds.
+func (s *Store) Ingest(ts time.Duration, link uint16, data []byte) PacketID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.packets); n > 0 && ts < s.packets[n-1].TS {
+		// Clamp minor reordering rather than corrupt the time index.
+		ts = s.packets[n-1].TS
+	}
+	id := s.nextID
+	s.nextID++
+	sp := StoredPacket{ID: id, TS: ts, Link: link, Data: data}
+	_ = s.parser.Parse(data, &sp.Summary) // ErrNotIP etc: stored with partial summary
+	s.packets = append(s.packets, sp)
+	s.dataBytes += uint64(len(data))
+
+	if sp.Summary.HasIP {
+		key := sp.Summary.Tuple.Canonical()
+		fm, ok := s.flows[key]
+		if !ok {
+			fm = &FlowMeta{Key: key, First: ts}
+			s.flows[key] = fm
+			s.indexBytes += 96 // rough per-flow index cost
+		}
+		fm.Last = ts
+		fm.Packets++
+		fm.Bytes += uint64(len(data))
+		fm.PayloadBytes += uint64(sp.Summary.PayloadLen)
+		fm.TCPFlags |= sp.Summary.TCPFlags
+		if sp.Summary.IsDNS {
+			if sp.Summary.DNSResponse {
+				fm.DNSResponses++
+			} else {
+				fm.DNSQueries++
+			}
+			if sp.Summary.DNSQueryType == packet.DNSTypeANY {
+				fm.DNSAnyCount++
+			}
+		}
+		fm.pktIDs = append(fm.pktIDs, id)
+		s.indexBytes += 8
+	}
+	return id
+}
+
+// IngestFrame stores a generator frame, registering its ground-truth label
+// at both packet and flow granularity.
+func (s *Store) IngestFrame(f *traffic.Frame) PacketID {
+	id := s.Ingest(f.TS, 0, f.Data)
+	if f.Label != traffic.LabelBenign {
+		s.mu.Lock()
+		if sp := s.locked(id); sp != nil {
+			sp.Label = f.Label
+			sp.Actor = f.Actor
+			if sp.Summary.HasIP {
+				if fm := s.flows[sp.Summary.Tuple.Canonical()]; fm != nil {
+					fm.Label = f.Label
+					fm.Labeled = true
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return id
+}
+
+func (s *Store) locked(id PacketID) *StoredPacket {
+	i := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].ID >= id })
+	if i < len(s.packets) && s.packets[i].ID == id {
+		return &s.packets[i]
+	}
+	return nil
+}
+
+// Packet returns a copy of the stored packet with the given ID.
+func (s *Store) Packet(id PacketID) (StoredPacket, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sp := s.locked(id); sp != nil {
+		return *sp, true
+	}
+	return StoredPacket{}, false
+}
+
+// LabelFlow registers ground truth (or an analyst label) for a flow.
+func (s *Store) LabelFlow(key FlowKey, label traffic.Label) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fm, ok := s.flows[key.Canonical()]
+	if !ok {
+		return fmt.Errorf("datastore: no flow %v", key)
+	}
+	fm.Label = label
+	fm.Labeled = true
+	return nil
+}
+
+// Flow returns the metadata of the flow containing the tuple.
+func (s *Store) Flow(key FlowKey) (FlowMeta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fm, ok := s.flows[key.Canonical()]
+	if !ok {
+		return FlowMeta{}, false
+	}
+	out := *fm
+	out.pktIDs = append([]PacketID(nil), fm.pktIDs...)
+	return out, true
+}
+
+// Flows returns a snapshot of all flow metadata, ordered by first packet.
+func (s *Store) Flows() []FlowMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]FlowMeta, 0, len(s.flows))
+	for _, fm := range s.flows {
+		cp := *fm
+		cp.pktIDs = nil // bulk listing omits per-packet IDs
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		return out[i].Key.Hash() < out[j].Key.Hash()
+	})
+	return out
+}
+
+// AddEvents ingests complementary sensor events (already clock-corrected).
+func (s *Store) AddEvents(evs []eventlog.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, evs...)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].TS < s.events[j].TS })
+	for _, e := range evs {
+		s.indexBytes += uint64(24 + len(e.Message) + len(e.Host))
+	}
+}
+
+// EventsBetween returns sensor events in [from, to).
+func (s *Store) EventsBetween(from, to time.Duration) []eventlog.Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].TS >= from })
+	hi := sort.Search(len(s.events), func(i int) bool { return s.events[i].TS >= to })
+	out := make([]eventlog.Event, hi-lo)
+	copy(out, s.events[lo:hi])
+	return out
+}
+
+// Stats describes store volume — the E7 storage-accounting surface.
+type Stats struct {
+	Packets    uint64
+	Flows      uint64
+	Events     uint64
+	DataBytes  uint64 // raw packet bytes
+	IndexBytes uint64 // metadata/index overhead estimate
+	Span       time.Duration
+}
+
+// TotalBytes is data plus index.
+func (st Stats) TotalBytes() uint64 { return st.DataBytes + st.IndexBytes }
+
+// BytesPerSecond returns the storage accrual rate over the stored span.
+func (st Stats) BytesPerSecond() float64 {
+	if st.Span <= 0 {
+		return 0
+	}
+	return float64(st.TotalBytes()) / st.Span.Seconds()
+}
+
+// ProjectRetention extrapolates the bytes needed to retain dur of traffic
+// at the observed accrual rate (the paper's "10 Gbps upstream, data
+// storage requirements of the order of a week" estimate).
+func (st Stats) ProjectRetention(dur time.Duration) uint64 {
+	return uint64(st.BytesPerSecond() * dur.Seconds())
+}
+
+// Stats returns current volume accounting.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Packets:    uint64(len(s.packets)),
+		Flows:      uint64(len(s.flows)),
+		Events:     uint64(len(s.events)),
+		DataBytes:  s.dataBytes,
+		IndexBytes: s.indexBytes,
+	}
+	if n := len(s.packets); n > 0 {
+		st.Span = s.packets[n-1].TS - s.packets[0].TS
+	}
+	return st
+}
+
+// EvictBefore drops packets (and empty flows) older than ts, returning the
+// number of packets evicted — the retention enforcement path.
+func (s *Store) EvictBefore(ts time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cut := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= ts })
+	if cut == 0 {
+		return 0
+	}
+	evicted := s.packets[:cut]
+	for i := range evicted {
+		s.dataBytes -= uint64(len(evicted[i].Data))
+	}
+	s.packets = append([]StoredPacket(nil), s.packets[cut:]...)
+	// Rebuild flow packet-ID lists lazily: drop flows that ended before ts.
+	for k, fm := range s.flows {
+		if fm.Last < ts {
+			delete(s.flows, k)
+			continue
+		}
+		if fm.First < ts {
+			minID := PacketID(0)
+			if len(s.packets) > 0 {
+				minID = s.packets[0].ID
+			}
+			ids := fm.pktIDs[:0]
+			for _, id := range fm.pktIDs {
+				if id >= minID {
+					ids = append(ids, id)
+				}
+			}
+			fm.pktIDs = ids
+		}
+	}
+	return cut
+}

@@ -1,0 +1,259 @@
+// Package eventlog models the complementary, non-packet data sources the
+// paper's data store ingests alongside capture (§5: "server logs, firewall
+// rules, configuration files, events"), including the per-sensor clock
+// skew that makes time synchronization a real problem, and the
+// synchronizer that corrects it.
+package eventlog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Source identifies the sensor class an event came from.
+type Source uint8
+
+// Sensor classes feeding the data store.
+const (
+	SourceSyslog Source = iota
+	SourceFirewall
+	SourceConfig
+	SourceIDS
+	numSources
+)
+
+var sourceNames = [numSources]string{"syslog", "firewall", "config", "ids"}
+
+// String returns the source name.
+func (s Source) String() string {
+	if int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return fmt.Sprintf("source-%d", uint8(s))
+}
+
+// Severity grades an event.
+type Severity uint8
+
+// Event severities, syslog-style.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+	SevCritical
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return "critical"
+	}
+}
+
+// Event is one sensor record. TS is scenario-relative, in the *sensor's*
+// clock; Synchronizer maps it to the capture clock.
+type Event struct {
+	TS       time.Duration
+	Source   Source
+	Severity Severity
+	Host     string // reporting host
+	Message  string
+	Attrs    map[string]string
+}
+
+// Generator produces a skewed, realistic event stream for one sensor.
+type Generator struct {
+	rng    *rand.Rand
+	source Source
+	hosts  []string
+	// skew is this sensor's constant clock offset from the capture clock
+	// (positive = sensor clock runs ahead).
+	skew time.Duration
+	// drift is the sensor's clock drift in ns per second of scenario time.
+	drift float64
+	rate  float64 // events per second
+}
+
+// GeneratorConfig configures an event generator.
+type GeneratorConfig struct {
+	Source Source
+	Hosts  []string
+	Skew   time.Duration
+	Drift  float64 // ns of drift per second
+	Rate   float64 // mean events/second
+	Seed   int64
+}
+
+// NewGenerator builds a generator; Rate defaults to 2/s.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 2
+	}
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = []string{"srv-auth-1", "srv-web-1", "fw-border", "sw-core-1"}
+	}
+	return &Generator{
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		source: cfg.Source,
+		hosts:  cfg.Hosts,
+		skew:   cfg.Skew,
+		drift:  cfg.Drift,
+		rate:   cfg.Rate,
+	}
+}
+
+var syslogTemplates = []struct {
+	sev Severity
+	msg string
+}{
+	{SevInfo, "sshd: accepted publickey for %s"},
+	{SevWarning, "sshd: failed password for invalid user %s"},
+	{SevInfo, "systemd: started nightly backup job"},
+	{SevError, "nginx: upstream timed out while reading response"},
+	{SevWarning, "kernel: nf_conntrack table 90%% full"},
+	{SevInfo, "dhcpd: DHCPACK on 10.4.12.%s"},
+	{SevCritical, "raid: degraded array md0, disk %s failed"},
+}
+
+var firewallTemplates = []struct {
+	sev Severity
+	msg string
+}{
+	{SevInfo, "allow tcp %s:443"},
+	{SevWarning, "deny tcp %s:23 (policy: no-telnet)"},
+	{SevWarning, "deny udp %s:161 external snmp probe"},
+	{SevError, "rate-limit triggered for %s"},
+}
+
+var users = []string{"alice", "bob", "carol", "dave", "svc-ci", "guest"}
+
+// Generate emits events over [0, dur) in sensor-clock order.
+func (g *Generator) Generate(dur time.Duration) []Event {
+	var out []Event
+	trueT := time.Duration(0)
+	for {
+		gap := time.Duration(g.rng.ExpFloat64() / g.rate * float64(time.Second))
+		trueT += gap
+		if trueT >= dur {
+			break
+		}
+		// Sensor clock = true time + skew + drift*elapsed.
+		sensorT := trueT + g.skew + time.Duration(g.drift*trueT.Seconds())
+		ev := Event{
+			TS:     sensorT,
+			Source: g.source,
+			Host:   g.hosts[g.rng.Intn(len(g.hosts))],
+			Attrs:  map[string]string{"true_ts": trueT.String()},
+		}
+		switch g.source {
+		case SourceFirewall:
+			tpl := firewallTemplates[g.rng.Intn(len(firewallTemplates))]
+			ev.Severity = tpl.sev
+			ev.Message = fmt.Sprintf(tpl.msg, fmt.Sprintf("198.51.100.%d", g.rng.Intn(255)))
+		case SourceConfig:
+			ev.Severity = SevInfo
+			ev.Message = fmt.Sprintf("config commit %08x by netops", g.rng.Uint32())
+		case SourceIDS:
+			ev.Severity = SevWarning
+			ev.Message = fmt.Sprintf("signature %d matched on sensor %s", 2000000+g.rng.Intn(5000), ev.Host)
+		default:
+			tpl := syslogTemplates[g.rng.Intn(len(syslogTemplates))]
+			ev.Severity = tpl.sev
+			ev.Message = fmt.Sprintf(tpl.msg, users[g.rng.Intn(len(users))])
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Synchronizer corrects sensor timestamps onto the capture clock using
+// reference pairs (events whose true capture time is known, e.g. a config
+// commit observed both in the log and on the wire). It fits offset+drift
+// by least squares — the "time-synchronized" property the paper's data
+// store promises.
+type Synchronizer struct {
+	offset time.Duration
+	drift  float64 // ns per second
+	fitted bool
+}
+
+// Fit estimates the clock model from (sensorTS, captureTS) pairs. At least
+// two pairs are required to fit drift; one pair fits offset only.
+func (s *Synchronizer) Fit(sensorTS, captureTS []time.Duration) error {
+	n := len(sensorTS)
+	if n == 0 || n != len(captureTS) {
+		return fmt.Errorf("eventlog: need equal, non-empty reference slices (got %d/%d)", len(sensorTS), len(captureTS))
+	}
+	if n == 1 {
+		s.offset = sensorTS[0] - captureTS[0]
+		s.drift = 0
+		s.fitted = true
+		return nil
+	}
+	// Least squares of sensor = capture*(1+drift/1e9) + offset, solved in
+	// float seconds for conditioning.
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		x := captureTS[i].Seconds()
+		y := sensorTS[i].Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return fmt.Errorf("eventlog: degenerate reference points")
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	s.drift = (slope - 1) * 1e9
+	s.offset = time.Duration(intercept * float64(time.Second))
+	s.fitted = true
+	return nil
+}
+
+// Correct maps a sensor timestamp to the capture clock.
+func (s *Synchronizer) Correct(sensorTS time.Duration) time.Duration {
+	if !s.fitted {
+		return sensorTS
+	}
+	slope := 1 + s.drift/1e9
+	return time.Duration((sensorTS.Seconds() - s.offset.Seconds()) / slope * float64(time.Second))
+}
+
+// Model returns the fitted offset and drift (ns/s).
+func (s *Synchronizer) Model() (offset time.Duration, drift float64) { return s.offset, s.drift }
+
+// MergeSorted merges multiple event slices into one stream ordered by TS.
+func MergeSorted(streams ...[]Event) []Event {
+	var out []Event
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Grep returns events whose message contains the substring, a primitive
+// the data store's query layer builds on.
+func Grep(events []Event, substr string) []Event {
+	var out []Event
+	for _, e := range events {
+		if strings.Contains(e.Message, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

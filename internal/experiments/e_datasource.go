@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"campuslab/internal/capture"
+	"campuslab/internal/datastore"
+	"campuslab/internal/features"
+	"campuslab/internal/privacy"
+	"campuslab/internal/traffic"
+)
+
+// E1Pipeline measures the data-source half of Figure 1 end to end:
+// generate → anonymize → store → featurize, reporting stage throughputs in
+// packets/second of wall-clock work.
+func E1Pipeline() (*Table, error) {
+	fx := newFixture()
+	frames := traffic.Collect(fx.trainingScenario(), 0)
+	n := len(frames)
+
+	t := &Table{
+		ID:      "E1",
+		Title:   "Figure 1 data-source pipeline, per-stage wall-clock throughput",
+		Columns: []string{"stage", "packets", "wall_time", "pkts_per_sec"},
+	}
+	row := func(stage string, dur time.Duration) {
+		pps := float64(n) / dur.Seconds()
+		t.AddRow(stage, fmt.Sprintf("%d", n), fmtDur(dur), fmt.Sprintf("%.0f", pps))
+	}
+
+	enf, err := privacy.NewEnforcer(privacy.Policy{Scope: privacy.AnonAll}, []byte("e1-key"))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	anon := make([]traffic.Frame, n)
+	for i := range frames {
+		out, err := enf.Apply(frames[i].Data)
+		if err != nil {
+			out = frames[i].Data
+		}
+		anon[i] = frames[i]
+		anon[i].Data = out
+	}
+	row("anonymize", time.Since(start))
+
+	st := datastore.New()
+	start = time.Now()
+	for i := range anon {
+		st.IngestFrame(&anon[i])
+	}
+	row("store+index", time.Since(start))
+
+	start = time.Now()
+	ds := features.FromPackets(st, 1.0)
+	row("featurize", time.Since(start))
+
+	start = time.Now()
+	_ = features.FromFlows(st, fx.plan.CampusPrefix)
+	row("flow-features", time.Since(start))
+
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("E1: empty dataset")
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: every stage sustains well above campus line rate (~1.5 Mpps at 10 Gbps of 800B packets); the store, not the pipeline, is the retention bottleneck (see E7)")
+	return t, nil
+}
+
+// E3CaptureRate sweeps offered load against capture capacity: the §5 claim
+// that lossless capture at 10-20 Gbps is practical, and that loss appears
+// when offered load exceeds the appliance envelope.
+func E3CaptureRate() (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "lossless capture vs offered load (120ns/pkt + 0.15ns/B per core, 800B frames)",
+		Columns: []string{"offered_gbps", "consumers", "ring", "captured", "dropped", "loss"},
+	}
+	for _, tc := range []struct {
+		gbps      float64
+		consumers int
+		ring      int
+	}{
+		{10, 1, 4096},
+		{20, 1, 4096},
+		{40, 1, 4096},
+		{40, 2, 4096},
+		{100, 2, 4096},
+		{100, 4, 4096},
+		{100, 8, 4096},
+	} {
+		gen := capture.NewConstantRate(tc.gbps, 800, 20*time.Millisecond)
+		res, err := capture.RunLoadModel(gen, capture.LoadModelConfig{
+			RingSize:         tc.ring,
+			ServicePerPacket: 120 * time.Nanosecond,
+			ServicePerKB:     154 * time.Nanosecond, // ~0.15ns per byte
+			Consumers:        tc.consumers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", tc.gbps),
+			fmt.Sprintf("%d", tc.consumers),
+			fmt.Sprintf("%d", tc.ring),
+			fmt.Sprintf("%d", res.Captured),
+			fmt.Sprintf("%d", res.Dropped),
+			pct(res.LossRate()),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: lossless through 10-20 Gbps on one core (the paper's campus uplink range); 100 Gbps needs parallel capture cores, matching the commercial appliance's scale-out design")
+	return t, nil
+}
+
+// E7StoreRetention measures store volume and query latency, projecting the
+// §5 sizing claim (10 Gbps upstream, a week of retention).
+func E7StoreRetention() (*Table, error) {
+	fx := newFixture()
+	st := datastore.New()
+	var f traffic.Frame
+	gen := fx.trainingScenario()
+	for gen.Next(&f) {
+		st.IngestFrame(&f)
+	}
+	stats := st.Stats()
+
+	t := &Table{
+		ID:      "E7",
+		Title:   "data store volume, retention projection and query latency",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("packets stored", fmt.Sprintf("%d", stats.Packets))
+	t.AddRow("flows indexed", fmt.Sprintf("%d", stats.Flows))
+	t.AddRow("raw bytes", fmtBytes(stats.DataBytes))
+	t.AddRow("index overhead", fmtBytes(stats.IndexBytes))
+	t.AddRow("index/data ratio", pct(float64(stats.IndexBytes)/float64(stats.DataBytes)))
+	t.AddRow("accrual (scenario)", fmt.Sprintf("%s/s", fmtBytes(uint64(stats.BytesPerSecond()))))
+	// Project the paper's sizing: a 10 Gbps uplink at 35% mean utilization.
+	const uplinkBps = 10e9 * 0.35 / 8
+	overhead := 1 + float64(stats.IndexBytes)/float64(stats.DataBytes)
+	day := uint64(uplinkBps * 86400 * overhead)
+	t.AddRow("10Gbps@35% 1 day", fmtBytes(day))
+	t.AddRow("10Gbps@35% 1 week", fmtBytes(day*7))
+
+	for _, expr := range []string{
+		"dns && dns.qtype == ANY",
+		"ts >= 1s && ts < 2s && udp",
+		"src.ip in 10.0.0.0/8 && len > 1000",
+	} {
+		fl, err := datastore.ParseFilter(expr)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		matches := st.Select(fl, 0)
+		t.AddRow(fmt.Sprintf("query %q", expr), fmt.Sprintf("%d hits in %s", len(matches), fmtDur(time.Since(start))))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: storage grows linearly with retention; a week at campus scale lands in the hundreds-of-TB range the paper prices at 'a few $100K'; indexed time-range queries return in milliseconds")
+	return t, nil
+}
+
+// E8Anonymization measures Crypto-PAn cost and verifies its properties on
+// the live address population.
+func E8Anonymization() (*Table, error) {
+	anon, err := privacy.NewAnonymizer([]byte("e8-key"))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E8",
+		Title:   "prefix-preserving anonymization: cost and properties",
+		Columns: []string{"metric", "value"},
+	}
+	// Cold path: distinct addresses.
+	const nCold = 20000
+	start := time.Now()
+	for i := 0; i < nCold; i++ {
+		anon.Anonymize(netip.AddrFrom4([4]byte{10, byte(i >> 12), byte(i >> 4), byte(i)}))
+	}
+	cold := time.Since(start) / nCold
+	t.AddRow("cold anonymize (cache miss)", fmtDur(cold))
+	// Warm path.
+	addr := netip.MustParseAddr("10.1.2.3")
+	anon.Anonymize(addr)
+	const nWarm = 2_000_000
+	start = time.Now()
+	for i := 0; i < nWarm; i++ {
+		anon.Anonymize(addr)
+	}
+	t.AddRow("warm anonymize (cache hit)", fmtDur(time.Since(start)/nWarm))
+
+	// Property checks over the campus population.
+	plan := traffic.DefaultPlan(40)
+	violations := 0
+	prev := plan.Host(0)
+	prevA := anon.Anonymize(prev)
+	for i := 1; i < plan.TotalHosts(); i++ {
+		cur := plan.Host(i)
+		curA := anon.Anonymize(cur)
+		if privacy.CommonPrefixLen(prev, cur) != privacy.CommonPrefixLen(prevA, curA) {
+			violations++
+		}
+		prev, prevA = cur, curA
+	}
+	t.AddRow("prefix violations (320 host pairs)", fmt.Sprintf("%d", violations))
+	if violations > 0 {
+		return nil, fmt.Errorf("E8: prefix preservation violated %d times", violations)
+	}
+
+	// Full enforcement path on real frames.
+	enf, err := privacy.NewEnforcer(privacy.Policy{Scope: privacy.AnonAll, Payload: privacy.PayloadStrip}, []byte("e8-key"))
+	if err != nil {
+		return nil, err
+	}
+	fx := newFixture()
+	frames := traffic.Collect(fx.trainingScenario(), 20000)
+	start = time.Now()
+	for i := range frames {
+		if _, err := enf.Apply(frames[i].Data); err != nil {
+			return nil, err
+		}
+	}
+	perPkt := time.Since(start) / time.Duration(len(frames))
+	t.AddRow("full policy enforcement per packet", fmtDur(perPkt))
+	_, in, out := enf.Stats()
+	t.AddRow("stored-byte reduction (strip policy)", pct(1-float64(out)/float64(in)))
+	t.Notes = append(t.Notes,
+		"expected shape: warm-path cost is a map lookup (tens of ns) so anonymization never gates 10-20 Gbps collection; prefix preservation holds exactly")
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment once and checks the
+// structural invariants: tables are well-formed and non-empty. Shape
+// assertions specific to each experiment live below.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tb, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != r.ID {
+				t.Errorf("table ID %q != runner ID %q", tb.ID, r.ID)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range tb.Rows {
+				if len(row) > len(tb.Columns) {
+					t.Errorf("row %d has %d cells, %d columns", i, len(row), len(tb.Columns))
+				}
+			}
+			if tb.String() == "" || tb.Markdown() == "" {
+				t.Error("rendering failed")
+			}
+			if len(tb.Notes) == 0 {
+				t.Error("missing expected-shape note")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("e5"); !ok {
+		t.Error("case-insensitive find failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("found nonexistent experiment")
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb, err := E3CaptureRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: 10 Gbps, 1 consumer — must be lossless.
+	loss := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[5], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad loss cell %q", row[5])
+		}
+		return v
+	}
+	if l := loss(tb.Rows[0]); l != 0 {
+		t.Errorf("10 Gbps loss = %v%%, want 0", l)
+	}
+	if l := loss(tb.Rows[1]); l != 0 {
+		t.Errorf("20 Gbps loss = %v%%, want 0 (the paper's campus envelope)", l)
+	}
+	// 40 Gbps overloads one core but not two; 100 Gbps needs scale-out.
+	if l := loss(tb.Rows[2]); l == 0 {
+		t.Error("40 Gbps on 1 core should overload")
+	}
+	if l := loss(tb.Rows[3]); l != 0 {
+		t.Error("40 Gbps on 2 cores should be lossless")
+	}
+	l100x2, l100x4, l100x8 := loss(tb.Rows[4]), loss(tb.Rows[5]), loss(tb.Rows[6])
+	if l100x2 == 0 {
+		t.Error("100 Gbps on 2 cores should overload")
+	}
+	if l100x4 > l100x2 {
+		t.Errorf("more consumers did not reduce loss: %v > %v", l100x4, l100x2)
+	}
+	if l100x8 != 0 {
+		t.Errorf("100 Gbps on 8 cores loss = %v%%, want 0", l100x8)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb, err := E6ModelExtraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid := func(row []string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		return v
+	}
+	first, last := fid(tb.Rows[0]), fid(tb.Rows[len(tb.Rows)-1])
+	if last < first {
+		t.Errorf("fidelity shrank with depth: %v -> %v", first, last)
+	}
+	if last < 95 {
+		t.Errorf("deep extraction fidelity = %v%%, want >= 95%%", last)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	if !strings.Contains(s, "T — demo") || !strings.Contains(s, "note: a note") {
+		t.Errorf("String = %q", s)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("Markdown = %q", md)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		fmtDur(500):           "500ns",
+		fmtDur(1500):          "1.5µs",
+		fmtDur(2_500_000):     "2.50ms",
+		fmtDur(3_000_000_000): "3.00s",
+		fmtDur(-1):            "n/a",
+		fmtBytes(512):         "512B",
+		fmtBytes(2048):        "2.0KiB",
+		fmtBytes(5 << 30):     "5.0GiB",
+		pct(0.123):            "12.30%",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}

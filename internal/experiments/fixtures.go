@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"time"
+
+	"campuslab/internal/core"
+	"campuslab/internal/traffic"
+)
+
+// fixture bundles the shared scenario parameters every experiment draws
+// from, so results are comparable across tables.
+type fixture struct {
+	plan *traffic.AddressPlan
+}
+
+func newFixture() *fixture {
+	return &fixture{plan: traffic.DefaultPlan(40)}
+}
+
+// trainingScenario is the labeled collection run (benign + DNS-amp).
+func (fx *fixture) trainingScenario() traffic.Generator {
+	benign := traffic.NewCampus(traffic.Profile{
+		Plan: fx.plan, FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: 1001,
+	})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: fx.plan, Victim: fx.plan.Host(5),
+		Start: 600 * time.Millisecond, Duration: 2800 * time.Millisecond, Rate: 800, Seed: 1002,
+	})
+	return traffic.NewMerge(benign, amp)
+}
+
+// replayScenario is a held-out benign+attack episode for road tests.
+func (fx *fixture) replayScenario(benignSeed, attackSeed int64) traffic.Generator {
+	benign := traffic.NewCampus(traffic.Profile{
+		Plan: fx.plan, FlowsPerSecond: 60, Duration: 5 * time.Second, Seed: benignSeed,
+	})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: fx.plan, Victim: fx.plan.Host(9),
+		Start: time.Second, Duration: 3 * time.Second, Rate: 800, Seed: attackSeed,
+	})
+	return traffic.NewMerge(benign, amp)
+}
+
+// developedLab collects the training scenario and runs the full Figure 2
+// development loop, returning the lab and its deployment artifacts.
+func (fx *fixture) developedLab() (*core.Lab, *core.Deployment, error) {
+	lab, err := core.NewLab(core.Config{Name: "e-campus", Plan: fx.plan})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := lab.Collect(fx.trainingScenario()); err != nil {
+		return nil, nil, err
+	}
+	dep, err := lab.Develop(core.DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 1003})
+	if err != nil {
+		return nil, nil, err
+	}
+	return lab, dep, nil
+}

@@ -1,0 +1,290 @@
+package features
+
+import (
+	"net/netip"
+	"time"
+
+	"campuslab/internal/datastore"
+	"campuslab/internal/packet"
+	"campuslab/internal/telemetry"
+	"campuslab/internal/traffic"
+)
+
+// FlowSchema names the per-flow feature columns produced by FromFlows.
+var FlowSchema = []string{
+	"duration_s",      // 0
+	"pkts",            // 1
+	"bytes",           // 2
+	"bytes_per_pkt",   // 3
+	"pkts_per_s",      // 4
+	"payload_frac",    // 5
+	"syn_no_ack",      // 6
+	"has_rst",         // 7
+	"has_fin",         // 8
+	"dns_msgs",        // 9
+	"dns_resp_excess", // 10: responses - queries (reflection tell)
+	"dns_any_frac",    // 11
+	"dst_port_wk",     // 12: well-known destination port
+	"src_internal",    // 13
+	"dst_internal",    // 14
+	"is_udp",          // 15
+}
+
+// FromFlows extracts one labeled example per stored flow.
+func FromFlows(st *datastore.Store, campus netip.Prefix) *Dataset {
+	flows := st.Flows()
+	d := &Dataset{Schema: FlowSchema}
+	for i := range flows {
+		fm := &flows[i]
+		d.X = append(d.X, flowVector(fm, campus))
+		d.Y = append(d.Y, int(fm.Label))
+	}
+	return d
+}
+
+func flowVector(fm *datastore.FlowMeta, campus netip.Prefix) []float64 {
+	dur := (fm.Last - fm.First).Seconds()
+	pkts := float64(fm.Packets)
+	bytes := float64(fm.Bytes)
+	v := make([]float64, len(FlowSchema))
+	v[0] = dur
+	v[1] = pkts
+	v[2] = bytes
+	if pkts > 0 {
+		v[3] = bytes / pkts
+		v[5] = float64(fm.PayloadBytes) / bytes
+	}
+	if dur > 0 {
+		v[4] = pkts / dur
+	} else {
+		v[4] = pkts // instantaneous flows: rate = count
+	}
+	if fm.TCPFlags.Has(packet.TCPSyn) && !fm.TCPFlags.Has(packet.TCPAck) {
+		v[6] = 1
+	}
+	if fm.TCPFlags.Has(packet.TCPRst) {
+		v[7] = 1
+	}
+	if fm.TCPFlags.Has(packet.TCPFin) {
+		v[8] = 1
+	}
+	dnsMsgs := float64(fm.DNSQueries + fm.DNSResponses)
+	v[9] = dnsMsgs
+	v[10] = float64(fm.DNSResponses) - float64(fm.DNSQueries)
+	if dnsMsgs > 0 {
+		v[11] = float64(fm.DNSAnyCount) / dnsMsgs
+	}
+	if fm.Key.DstPort < 1024 && fm.Key.DstPort != 0 {
+		v[12] = 1
+	}
+	if campus.Contains(fm.Key.SrcIP) {
+		v[13] = 1
+	}
+	if campus.Contains(fm.Key.DstIP) {
+		v[14] = 1
+	}
+	if fm.Key.Proto == packet.IPProtocolUDP {
+		v[15] = 1
+	}
+	return v
+}
+
+// WindowSchema names the per-(host, window) feature columns.
+var WindowSchema = []string{
+	"pps",             // 0: packets/s toward the host
+	"bps",             // 1: bits/s toward the host
+	"distinct_srcs",   // 2
+	"src_entropy",     // 3: entropy of source addresses (bits)
+	"syn_frac",        // 4
+	"dns_resp_frac",   // 5
+	"dns_any_frac",    // 6
+	"avg_pkt_size",    // 7
+	"unanswered_frac", // 8: DNS responses with no query from host in window
+	"port_entropy",    // 9: entropy of destination ports (scan tell)
+}
+
+// WindowConfig parameterizes windowed extraction.
+type WindowConfig struct {
+	// Window is the aggregation interval (default 1s).
+	Window time.Duration
+	// Campus restricts monitored hosts to campus destinations.
+	Campus netip.Prefix
+	// MinPackets drops windows with fewer inbound packets (noise floor).
+	MinPackets int
+}
+
+// hostWindow accumulates per-host per-window state.
+type hostWindow struct {
+	pkts, bytes   int
+	srcs          map[netip.Addr]int
+	ports         map[uint16]int
+	syn           int
+	dnsResp       int
+	dnsAny        int
+	dnsQueriesOut int // queries the host itself sent this window
+	label         traffic.Label
+	labeled       bool
+}
+
+// FromWindows extracts one labeled example per (campus host, window) with
+// inbound traffic — the representation a DDoS/scan detector consumes. The
+// window label is the ground-truth label of any attack flow touching the
+// host in that window (attacks dominate; ties broken by first seen).
+func FromWindows(st *datastore.Store, cfg WindowConfig) *Dataset {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.MinPackets <= 0 {
+		cfg.MinPackets = 3
+	}
+	type key struct {
+		host netip.Addr
+		win  int64
+	}
+	wins := make(map[key]*hostWindow)
+	// Resolve per-flow labels for packets via the flow table.
+	labelOf := make(map[packet.FiveTuple]traffic.Label)
+	for _, fm := range st.Flows() {
+		if fm.Labeled {
+			labelOf[fm.Key] = fm.Label
+		}
+	}
+	st.Scan(func(sp *datastore.StoredPacket) bool {
+		if !sp.Summary.HasIP {
+			return true
+		}
+		dst := sp.Summary.Tuple.DstIP
+		src := sp.Summary.Tuple.SrcIP
+		winIdx := int64(sp.TS / cfg.Window)
+		if cfg.Campus.IsValid() && cfg.Campus.Contains(src) {
+			// Outbound packet: count DNS queries the host originated.
+			if sp.Summary.IsDNS && !sp.Summary.DNSResponse {
+				k := key{host: src, win: winIdx}
+				if hw := wins[k]; hw != nil {
+					hw.dnsQueriesOut++
+				} else {
+					hw := newHostWindow()
+					hw.dnsQueriesOut = 1
+					wins[k] = hw
+				}
+			}
+		}
+		if cfg.Campus.IsValid() && !cfg.Campus.Contains(dst) {
+			return true
+		}
+		k := key{host: dst, win: winIdx}
+		hw := wins[k]
+		if hw == nil {
+			hw = newHostWindow()
+			wins[k] = hw
+		}
+		hw.pkts++
+		hw.bytes += sp.Summary.WireLen
+		hw.srcs[src]++
+		hw.ports[sp.Summary.Tuple.DstPort]++
+		if sp.Summary.HasTCP && sp.Summary.TCPFlags.Has(packet.TCPSyn) && !sp.Summary.TCPFlags.Has(packet.TCPAck) {
+			hw.syn++
+		}
+		if sp.Summary.IsDNS && sp.Summary.DNSResponse {
+			hw.dnsResp++
+			if sp.Summary.DNSQueryType == packet.DNSTypeANY {
+				hw.dnsAny++
+			}
+		}
+		if !hw.labeled {
+			if l, ok := labelOf[sp.Summary.Tuple.Canonical()]; ok {
+				hw.label, hw.labeled = l, true
+			}
+		}
+		return true
+	})
+
+	d := &Dataset{Schema: WindowSchema}
+	secs := cfg.Window.Seconds()
+	for _, hw := range wins {
+		if hw.pkts < cfg.MinPackets {
+			continue
+		}
+		v := make([]float64, len(WindowSchema))
+		v[0] = float64(hw.pkts) / secs
+		v[1] = float64(hw.bytes*8) / secs
+		v[2] = float64(len(hw.srcs))
+		v[3] = Entropy(hw.srcs)
+		v[4] = float64(hw.syn) / float64(hw.pkts)
+		v[5] = float64(hw.dnsResp) / float64(hw.pkts)
+		if hw.dnsResp > 0 {
+			v[6] = float64(hw.dnsAny) / float64(hw.dnsResp)
+		}
+		v[7] = float64(hw.bytes) / float64(hw.pkts)
+		if hw.dnsResp > 0 {
+			un := hw.dnsResp - hw.dnsQueriesOut
+			if un < 0 {
+				un = 0
+			}
+			v[8] = float64(un) / float64(hw.dnsResp)
+		}
+		v[9] = Entropy(hw.ports)
+		d.X = append(d.X, v)
+		d.Y = append(d.Y, int(hw.label))
+	}
+	return d
+}
+
+func newHostWindow() *hostWindow {
+	return &hostWindow{srcs: make(map[netip.Addr]int), ports: make(map[uint16]int)}
+}
+
+// FromFlowRecords extracts flow features from sampled NetFlow records (the
+// E10 bottom-up baseline). Only fields NetFlow exports are available —
+// payload fraction, DNS internals and per-packet details are gone, which
+// is exactly the handicap being measured. Labels come from the truth map
+// (canonical tuple -> label).
+var FlowRecordSchema = []string{
+	"duration_s", "pkts", "bytes", "bytes_per_pkt", "pkts_per_s",
+	"syn_no_ack", "has_rst", "has_fin", "dst_port_wk", "is_udp",
+}
+
+// FromFlowRecords builds a dataset from sampled exporter output.
+func FromFlowRecords(recs []telemetry.FlowRecord, sampleRate int, truth map[packet.FiveTuple]traffic.Label) *Dataset {
+	d := &Dataset{Schema: FlowRecordSchema}
+	for i := range recs {
+		r := &recs[i]
+		dur := (r.Last - r.First).Seconds()
+		pkts := float64(r.Packets) * float64(sampleRate) // inverse-probability estimate
+		bytes := float64(r.Bytes) * float64(sampleRate)
+		v := make([]float64, len(FlowRecordSchema))
+		v[0] = dur
+		v[1] = pkts
+		v[2] = bytes
+		if pkts > 0 {
+			v[3] = bytes / pkts
+		}
+		if dur > 0 {
+			v[4] = pkts / dur
+		} else {
+			v[4] = pkts
+		}
+		if r.TCPFlags.Has(packet.TCPSyn) && !r.TCPFlags.Has(packet.TCPAck) {
+			v[5] = 1
+		}
+		if r.TCPFlags.Has(packet.TCPRst) {
+			v[6] = 1
+		}
+		if r.TCPFlags.Has(packet.TCPFin) {
+			v[7] = 1
+		}
+		if r.Tuple.DstPort < 1024 && r.Tuple.DstPort != 0 {
+			v[8] = 1
+		}
+		if r.Tuple.Proto == packet.IPProtocolUDP {
+			v[9] = 1
+		}
+		d.X = append(d.X, v)
+		y := traffic.LabelBenign
+		if l, ok := truth[r.Tuple.Canonical()]; ok {
+			y = l
+		}
+		d.Y = append(d.Y, int(y))
+	}
+	return d
+}

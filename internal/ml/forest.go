@@ -1,0 +1,130 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"campuslab/internal/features"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 50).
+	Trees int
+	// MaxDepth bounds each tree (<=0 unbounded).
+	MaxDepth int
+	// MinSamplesSplit per tree (default 2).
+	MinSamplesSplit int
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+}
+
+// Forest is a bagged random forest — the heavyweight offline "black-box"
+// model of Figure 2: accurate, but with hundreds of trees and thousands of
+// paths, not something an operator can audit or a switch can run.
+type Forest struct {
+	trees   []*Tree
+	classes int
+}
+
+// FitForest trains the ensemble: bootstrap sample per tree, sqrt(d)
+// feature subsampling at each split.
+func FitForest(d *features.Dataset, classes int, cfg ForestConfig) (*Forest, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 50
+	}
+	if classes <= 0 {
+		classes = maxLabel(d.Y) + 1
+	}
+	maxFeat := int(math.Sqrt(float64(d.Dims())))
+	if maxFeat < 1 {
+		maxFeat = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{classes: classes}
+	boot := &features.Dataset{Schema: d.Schema}
+	for t := 0; t < cfg.Trees; t++ {
+		boot.X = boot.X[:0]
+		boot.Y = boot.Y[:0]
+		for i := 0; i < d.Len(); i++ {
+			j := rng.Intn(d.Len())
+			boot.X = append(boot.X, d.X[j])
+			boot.Y = append(boot.Y, d.Y[j])
+		}
+		tree, err := FitTree(boot, classes, TreeConfig{
+			MaxDepth:        cfg.MaxDepth,
+			MinSamplesSplit: cfg.MinSamplesSplit,
+			MaxFeatures:     maxFeat,
+			Seed:            rng.Int63(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Predict implements Classifier (argmax of averaged probabilities).
+func (f *Forest) Predict(x []float64) int {
+	p := f.Proba(x)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range p {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Proba implements Classifier: the mean of member-tree probabilities.
+func (f *Forest) Proba(x []float64) []float64 {
+	out := make([]float64, f.classes)
+	for _, t := range f.trees {
+		for c, v := range t.Proba(x) {
+			out[c] += v
+		}
+	}
+	n := float64(len(f.trees))
+	for c := range out {
+		out[c] /= n
+	}
+	return out
+}
+
+// NumClasses implements Classifier.
+func (f *Forest) NumClasses() int { return f.classes }
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// TotalNodes sums member-tree node counts — a size measure for the
+// black-box vs deployable-model comparison.
+func (f *Forest) TotalNodes() int {
+	n := 0
+	for _, t := range f.trees {
+		n += t.NumNodes()
+	}
+	return n
+}
+
+// FeatureImportance averages member-tree importances.
+func (f *Forest) FeatureImportance() []float64 {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	out := make([]float64, f.trees[0].dims)
+	for _, t := range f.trees {
+		for i, v := range t.FeatureImportance() {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}

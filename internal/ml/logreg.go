@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"campuslab/internal/features"
+)
+
+// LogRegConfig controls logistic-regression training.
+type LogRegConfig struct {
+	// Epochs of SGD over the data (default 50).
+	Epochs int
+	// LearningRate for SGD (default 0.1).
+	LearningRate float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+	// Seed shuffles example order per epoch.
+	Seed int64
+}
+
+// LogReg is a multinomial (softmax) logistic regression — the simple
+// linear baseline against which trees and forests are compared, and a
+// second "deployable" candidate whose weights an operator can read.
+type LogReg struct {
+	W       [][]float64 // [class][dim]
+	B       []float64   // [class]
+	classes int
+	dims    int
+}
+
+// FitLogReg trains with plain SGD on the softmax cross-entropy.
+// Features should be standardized first (see features.Standardizer).
+func FitLogReg(d *features.Dataset, classes int, cfg LogRegConfig) (*LogReg, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	if classes <= 0 {
+		classes = maxLabel(d.Y) + 1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.L2 < 0 {
+		cfg.L2 = 1e-4
+	}
+	m := &LogReg{classes: classes, dims: d.Dims(), B: make([]float64, classes)}
+	m.W = make([][]float64, classes)
+	for c := range m.W {
+		m.W[c] = make([]float64, m.dims)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	probs := make([]float64, classes)
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.05*float64(e))
+		for _, i := range order {
+			m.softmax(d.X[i], probs)
+			for c := 0; c < classes; c++ {
+				grad := probs[c]
+				if c == d.Y[i] {
+					grad -= 1
+				}
+				w := m.W[c]
+				for j, xv := range d.X[i] {
+					w[j] -= lr * (grad*xv + cfg.L2*w[j])
+				}
+				m.B[c] -= lr * grad
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *LogReg) softmax(x []float64, out []float64) {
+	maxZ := math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		z := m.B[c]
+		w := m.W[c]
+		for j, xv := range x {
+			z += w[j] * xv
+		}
+		out[c] = z
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	var sum float64
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxZ)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// Predict implements Classifier.
+func (m *LogReg) Predict(x []float64) int {
+	p := m.Proba(x)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range p {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// Proba implements Classifier.
+func (m *LogReg) Proba(x []float64) []float64 {
+	out := make([]float64, m.classes)
+	m.softmax(x, out)
+	return out
+}
+
+// NumClasses implements Classifier.
+func (m *LogReg) NumClasses() int { return m.classes }

@@ -1,0 +1,327 @@
+// Package ml is campuslab's learning substrate: CART decision trees, a
+// bagged random forest (the paper's offline "black-box model"), logistic
+// regression, evaluation metrics, and k-fold cross-validation. Everything
+// is deterministic given a seed — the property the paper's reproducibility
+// argument (§5) depends on.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"campuslab/internal/features"
+)
+
+// Classifier predicts a class for a feature vector.
+type Classifier interface {
+	// Predict returns the most likely class index.
+	Predict(x []float64) int
+	// Proba returns per-class probabilities (length NumClasses).
+	Proba(x []float64) []float64
+	// NumClasses returns the number of classes the model was fit with.
+	NumClasses() int
+}
+
+// TreeConfig controls CART induction.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth (root = depth 0). <=0 means unbounded.
+	MaxDepth int
+	// MinSamplesSplit stops splitting smaller nodes (default 2).
+	MinSamplesSplit int
+	// MaxFeatures considers a random subset of features per split
+	// (0 = all; forests pass sqrt(d)).
+	MaxFeatures int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+// treeNode is one node of a fitted tree, stored flat.
+type treeNode struct {
+	feature     int       // split feature, -1 for leaf
+	threshold   float64   // go left if x[feature] <= threshold
+	left, right int       // child indices
+	counts      []float64 // class histogram at this node (leaves use it)
+	total       float64
+}
+
+// Tree is a fitted CART decision tree.
+type Tree struct {
+	nodes   []treeNode
+	classes int
+	dims    int
+	cfg     TreeConfig
+}
+
+// FitTree induces a CART tree on d using Gini impurity.
+func FitTree(d *features.Dataset, classes int, cfg TreeConfig) (*Tree, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	if classes <= 0 {
+		classes = maxLabel(d.Y) + 1
+	}
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	t := &Tree{classes: classes, dims: d.Dims(), cfg: cfg}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t.build(d, idx, 0, rng)
+	return t, nil
+}
+
+func maxLabel(ys []int) int {
+	m := 0
+	for _, y := range ys {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// build grows the subtree over idx, returning its node index.
+func (t *Tree) build(d *features.Dataset, idx []int, depth int, rng *rand.Rand) int {
+	counts := make([]float64, t.classes)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	nodeIdx := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1, counts: counts, total: float64(len(idx))})
+
+	if len(idx) < t.cfg.MinSamplesSplit || gini(counts, float64(len(idx))) == 0 ||
+		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) {
+		return nodeIdx
+	}
+	feat, thr, ok := t.bestSplit(d, idx, counts, rng)
+	if !ok {
+		return nodeIdx
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nodeIdx
+	}
+	l := t.build(d, left, depth+1, rng)
+	r := t.build(d, right, depth+1, rng)
+	t.nodes[nodeIdx].feature = feat
+	t.nodes[nodeIdx].threshold = thr
+	t.nodes[nodeIdx].left = l
+	t.nodes[nodeIdx].right = r
+	return nodeIdx
+}
+
+// gini computes Gini impurity from a class histogram.
+func gini(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit scans candidate features for the split minimizing weighted
+// child impurity via the classic sort-and-sweep.
+func (t *Tree) bestSplit(d *features.Dataset, idx []int, parentCounts []float64, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	feats := make([]int, t.dims)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.cfg.MaxFeatures > 0 && t.cfg.MaxFeatures < t.dims {
+		rng.Shuffle(len(feats), func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:t.cfg.MaxFeatures]
+		sort.Ints(feats)
+	}
+	n := float64(len(idx))
+	best := gini(parentCounts, n)
+	bestFeat, bestThr := -1, 0.0
+	order := make([]int, len(idx))
+	leftCounts := make([]float64, t.classes)
+	rightCounts := make([]float64, t.classes)
+
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+		clear(leftCounts)
+		copy(rightCounts, parentCounts)
+		for k := 0; k < len(order)-1; k++ {
+			y := d.Y[order[k]]
+			leftCounts[y]++
+			rightCounts[y]--
+			xv, xn := d.X[order[k]][f], d.X[order[k+1]][f]
+			if xv == xn {
+				continue
+			}
+			nl, nr := float64(k+1), n-float64(k+1)
+			score := (nl*gini(leftCounts, nl) + nr*gini(rightCounts, nr)) / n
+			if score < best-1e-12 {
+				best = score
+				bestFeat = f
+				bestThr = (xv + xn) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, false
+	}
+	return bestFeat, bestThr, true
+}
+
+// leaf walks x down to its leaf node.
+func (t *Tree) leaf(x []float64) *treeNode {
+	n := &t.nodes[0]
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = &t.nodes[n.left]
+		} else {
+			n = &t.nodes[n.right]
+		}
+	}
+	return n
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(x []float64) int {
+	n := t.leaf(x)
+	best, bestC := 0, math.Inf(-1)
+	for c, v := range n.counts {
+		if v > bestC {
+			best, bestC = c, v
+		}
+	}
+	return best
+}
+
+// Proba implements Classifier.
+func (t *Tree) Proba(x []float64) []float64 {
+	n := t.leaf(x)
+	out := make([]float64, t.classes)
+	if n.total == 0 {
+		return out
+	}
+	for c, v := range n.counts {
+		out[c] = v / n.total
+	}
+	return out
+}
+
+// NumClasses implements Classifier.
+func (t *Tree) NumClasses() int { return t.classes }
+
+// Depth returns the fitted tree's depth.
+func (t *Tree) Depth() int { return t.depth(0) }
+
+func (t *Tree) depth(i int) int {
+	n := &t.nodes[i]
+	if n.feature < 0 {
+		return 0
+	}
+	l, r := t.depth(n.left), t.depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NumLeaves returns the number of leaf nodes — the rule count after
+// compilation to match-action entries.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Rule is one root-to-leaf path: the conjunction of threshold conditions
+// and the class it predicts — the paper's operator-readable "list of
+// pieces of evidence".
+type Rule struct {
+	Conds   []Cond
+	Class   int
+	Conf    float64 // leaf purity
+	Support float64 // fraction of training data in the leaf
+}
+
+// Cond is one threshold condition on a feature.
+type Cond struct {
+	Feature int
+	LE      bool // true: x[f] <= Thr; false: x[f] > Thr
+	Thr     float64
+}
+
+// Rules enumerates every root-to-leaf path.
+func (t *Tree) Rules() []Rule {
+	var out []Rule
+	var walk func(i int, conds []Cond)
+	total := t.nodes[0].total
+	walk = func(i int, conds []Cond) {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			best, bestC := 0, math.Inf(-1)
+			for c, v := range n.counts {
+				if v > bestC {
+					best, bestC = c, v
+				}
+			}
+			conf := 0.0
+			if n.total > 0 {
+				conf = bestC / n.total
+			}
+			out = append(out, Rule{
+				Conds: append([]Cond(nil), conds...),
+				Class: best, Conf: conf, Support: n.total / total,
+			})
+			return
+		}
+		walk(n.left, append(conds, Cond{Feature: n.feature, LE: true, Thr: n.threshold}))
+		walk(n.right, append(conds, Cond{Feature: n.feature, LE: false, Thr: n.threshold}))
+	}
+	walk(0, nil)
+	return out
+}
+
+// FeatureImportance returns normalized Gini importance per feature.
+func (t *Tree) FeatureImportance() []float64 {
+	imp := make([]float64, t.dims)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			continue
+		}
+		l, r := &t.nodes[n.left], &t.nodes[n.right]
+		dec := n.total*gini(n.counts, n.total) -
+			l.total*gini(l.counts, l.total) - r.total*gini(r.counts, r.total)
+		imp[n.feature] += dec
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}

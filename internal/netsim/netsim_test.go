@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+func smallTopo(t testing.TB) *Topology {
+	t.Helper()
+	return BuildCampus(Config{Plan: traffic.DefaultPlan(30), HostsPerAccess: 10})
+}
+
+func TestBuildCampusStructure(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	if topo.HostCount() != plan.TotalHosts() {
+		t.Errorf("hosts = %d, want %d", topo.HostCount(), plan.TotalHosts())
+	}
+	var kinds [6]int
+	for _, n := range topo.Nodes {
+		kinds[n.Kind]++
+	}
+	if kinds[KindCore] != 1 || kinds[KindBorder] != 1 || kinds[KindInternet] != 1 {
+		t.Errorf("core/border/internet = %d/%d/%d", kinds[KindCore], kinds[KindBorder], kinds[KindInternet])
+	}
+	if kinds[KindDist] != len(plan.Departments) {
+		t.Errorf("dist = %d, want %d", kinds[KindDist], len(plan.Departments))
+	}
+	if kinds[KindHost] != plan.TotalHosts() {
+		t.Errorf("host nodes = %d", kinds[KindHost])
+	}
+	// Every link must be paired with its reverse.
+	for _, l := range topo.Links {
+		found := false
+		for _, r := range topo.Links {
+			if r.From == l.To && r.To == l.From {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("link %d has no reverse", l.ID)
+		}
+	}
+	// Uplink identified.
+	if topo.Links[topo.Uplink].From != topo.Border || topo.Links[topo.Uplink].To != topo.Internet {
+		t.Error("uplink misidentified")
+	}
+}
+
+func TestRouting(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	h0 := topo.NodeFor(plan.Host(0))
+	hLast := topo.NodeFor(plan.Host(plan.TotalHosts() - 1))
+	ext := topo.NodeFor(netip.MustParseAddr("93.184.216.34"))
+	if ext != topo.Internet {
+		t.Fatal("external IP not mapped to internet")
+	}
+	// Host to internet passes the border.
+	path := topo.Route(h0, ext)
+	if path == nil {
+		t.Fatal("no route host->internet")
+	}
+	viaBorder := false
+	for _, l := range path {
+		if topo.Links[l].To == topo.Border {
+			viaBorder = true
+		}
+	}
+	if !viaBorder {
+		t.Error("host->internet route avoids border")
+	}
+	// Host to host in different departments passes the core, not border.
+	path = topo.Route(h0, hLast)
+	if path == nil {
+		t.Fatal("no route host->host")
+	}
+	for _, l := range path {
+		if topo.Links[l].To == topo.Internet {
+			t.Error("internal route leaves campus")
+		}
+	}
+	// Path endpoints are consistent.
+	if topo.Links[path[0]].From != h0 || topo.Links[path[len(path)-1]].To != hLast {
+		t.Error("path endpoints wrong")
+	}
+	if topo.Route(h0, h0) != nil {
+		t.Error("self route should be empty")
+	}
+}
+
+func TestReplayDeliversTraffic(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	net := NewNetwork(topo)
+	var deliveries []Delivery
+	net.OnDeliver(func(d Delivery) { deliveries = append(deliveries, d) })
+	gen := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 40, Duration: 2 * time.Second, Seed: 51})
+	stats := net.Replay(gen)
+	if stats.Injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	if stats.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if stats.Delivered+stats.QueueDrops+stats.BorderDrops != stats.Injected {
+		t.Errorf("accounting: %d delivered + %d qdrop + %d bdrop != %d injected",
+			stats.Delivered, stats.QueueDrops, stats.BorderDrops, stats.Injected)
+	}
+	if stats.MeanLatency() <= 0 {
+		t.Error("zero mean latency")
+	}
+	// External RTT dominated by the 5ms uplink propagation.
+	for _, d := range deliveries[:10] {
+		if d.Latency() <= 0 {
+			t.Fatalf("non-positive latency %v", d.Latency())
+		}
+	}
+}
+
+func TestBorderFuncDrops(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	net := NewNetwork(topo)
+	victim := plan.Host(0)
+	net.SetBorderFunc(func(ts time.Duration, f *traffic.Frame, s *packet.Summary) bool {
+		return s.Tuple.DstIP != victim // drop everything to the victim
+	})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: victim,
+		Duration: time.Second, Rate: 200, Seed: 52,
+	})
+	stats := net.Replay(amp)
+	if stats.BorderDrops == 0 {
+		t.Fatal("border dropped nothing")
+	}
+	if stats.Delivered != 0 {
+		t.Errorf("%d attack packets leaked past the border", stats.Delivered)
+	}
+}
+
+func TestTapsSeeBorderTraffic(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	net := NewNetwork(topo)
+	var tapped int
+	net.AddTap(topo.DownLink, func(ts time.Duration, f *traffic.Frame) { tapped++ })
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(1),
+		Duration: time.Second, Rate: 100, Seed: 53,
+	})
+	stats := net.Replay(amp)
+	if tapped == 0 {
+		t.Fatal("tap saw nothing")
+	}
+	if uint64(tapped) != stats.Injected-stats.Unroutable {
+		t.Errorf("tap saw %d, injected %d", tapped, stats.Injected)
+	}
+}
+
+func TestCongestionDropsAndLatency(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	// Starve the uplink: 1 Mbps with tiny queues.
+	topoSlow := BuildCampus(Config{Plan: plan, HostsPerAccess: 10, UplinkBW: 1e6, QueueLen: 8})
+	topoFast := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	fp := packet.NewFlowParser()
+	mk := func(topo *Topology) (SimStats, time.Duration) {
+		net := NewNetwork(topo)
+		// Mean latency over *external* deliveries only: survivors of
+		// internal-only paths would otherwise mask uplink queueing.
+		var extLat time.Duration
+		var extN int
+		net.OnDeliver(func(d Delivery) {
+			var s packet.Summary
+			if err := fp.Parse(d.Frame.Data, &s); err != nil {
+				return
+			}
+			if !plan.Contains(s.Tuple.SrcIP) || !plan.Contains(s.Tuple.DstIP) {
+				extLat += d.Latency()
+				extN++
+			}
+		})
+		gen := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 150, Duration: 2 * time.Second, Seed: 54})
+		stats := net.Replay(gen)
+		if extN == 0 {
+			return stats, 0
+		}
+		return stats, extLat / time.Duration(extN)
+	}
+	slow, slowExt := mk(topoSlow)
+	fast, fastExt := mk(topoFast)
+	if slow.QueueDrops == 0 {
+		t.Error("no drops on a starved uplink")
+	}
+	if fast.QueueDrops > slow.QueueDrops/10 {
+		t.Errorf("fast network dropped %d vs slow %d", fast.QueueDrops, slow.QueueDrops)
+	}
+	if slowExt <= fastExt {
+		t.Errorf("congested external latency %v <= uncongested %v", slowExt, fastExt)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	net := NewNetwork(topo)
+	gen := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 100, Duration: 2 * time.Second, Seed: 55})
+	stats := net.Replay(gen)
+	up := topo.Links[topo.Uplink]
+	u := stats.Utilization(up, 2*time.Second)
+	if u <= 0 || u > 1.5 {
+		t.Errorf("uplink utilization = %v", u)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if KindBorder.String() != "border" || KindHost.String() != "host" {
+		t.Error("kind names wrong")
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	plan := traffic.DefaultPlan(30)
+	topo := BuildCampus(Config{Plan: plan, HostsPerAccess: 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := NewNetwork(topo)
+		gen := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 50, Duration: time.Second, Seed: 56})
+		net.Replay(gen)
+	}
+}

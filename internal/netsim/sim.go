@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// TapFunc observes a frame crossing a link (capture integration point).
+type TapFunc func(ts time.Duration, f *traffic.Frame)
+
+// BorderFunc inspects a frame at the border switch; returning false drops
+// it (the deployed mitigation path). The summary is pre-parsed.
+type BorderFunc func(ts time.Duration, f *traffic.Frame, s *packet.Summary) bool
+
+// Delivery reports one frame reaching its destination.
+type Delivery struct {
+	Frame   traffic.Frame
+	Sent    time.Duration
+	Arrived time.Duration
+}
+
+// Latency is the network transit time.
+func (d Delivery) Latency() time.Duration { return d.Arrived - d.Sent }
+
+// SimStats aggregates a run.
+type SimStats struct {
+	Injected     uint64
+	Delivered    uint64
+	QueueDrops   uint64
+	BorderDrops  uint64
+	Unroutable   uint64
+	TotalLatency time.Duration
+	MaxLatency   time.Duration
+	LinkBytes    map[LinkID]uint64
+}
+
+// MeanLatency over delivered frames.
+func (s *SimStats) MeanLatency() time.Duration {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Delivered)
+}
+
+// Utilization returns a link's average utilization over the run span.
+func (s *SimStats) Utilization(l Link, span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(s.LinkBytes[l.ID]*8) / (l.Bandwidth * span.Seconds())
+}
+
+// Network is a runnable simulation instance over a topology.
+type Network struct {
+	topo   *Topology
+	events eventHeap
+	// linkFree[l] is when link l's transmitter is next idle.
+	linkFree  []time.Duration
+	taps      map[LinkID][]TapFunc
+	border    BorderFunc
+	onDeliver func(Delivery)
+	stats     SimStats
+	parser    *packet.FlowParser
+	now       time.Duration
+	seq       uint64 // event tie-break counter
+}
+
+// NewNetwork wraps a topology for simulation.
+func NewNetwork(t *Topology) *Network {
+	return &Network{
+		topo:     t,
+		linkFree: make([]time.Duration, len(t.Links)),
+		taps:     make(map[LinkID][]TapFunc),
+		parser:   packet.NewFlowParser(),
+		stats:    SimStats{LinkBytes: make(map[LinkID]uint64)},
+	}
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// AddTap attaches a tap to a link.
+func (n *Network) AddTap(l LinkID, fn TapFunc) { n.taps[l] = append(n.taps[l], fn) }
+
+// SetBorderFunc installs the border inspection hook.
+func (n *Network) SetBorderFunc(fn BorderFunc) { n.border = fn }
+
+// OnDeliver registers the delivery callback.
+func (n *Network) OnDeliver(fn func(Delivery)) { n.onDeliver = fn }
+
+// event is a frame arriving at a node at a time.
+type event struct {
+	at    time.Duration
+	node  NodeID
+	hop   int // index into path
+	frame traffic.Frame
+	sent  time.Duration
+	path  []LinkID
+	seq   uint64 // tie-break for determinism
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Inject schedules a frame: the source/destination nodes are resolved from
+// the frame's IP addresses, and the frame enters the network at f.TS.
+func (n *Network) Inject(f *traffic.Frame) {
+	var s packet.Summary
+	if err := n.parser.Parse(f.Data, &s); err != nil {
+		n.stats.Unroutable++
+		return
+	}
+	src := n.topo.NodeFor(s.Tuple.SrcIP)
+	dst := n.topo.NodeFor(s.Tuple.DstIP)
+	path := n.topo.Route(src, dst)
+	if path == nil && src != dst {
+		n.stats.Unroutable++
+		return
+	}
+	n.stats.Injected++
+	n.seq++
+	heap.Push(&n.events, &event{
+		at: f.TS, node: src, hop: 0, frame: *f, sent: f.TS, path: path, seq: n.seq,
+	})
+}
+
+// Run processes all scheduled events to completion and returns statistics.
+// Call after injecting the full scenario (or interleave Inject/Step).
+func (n *Network) Run() SimStats {
+	for n.events.Len() > 0 {
+		n.step()
+	}
+	return n.stats
+}
+
+// Now returns the simulation clock (time of the last processed event).
+func (n *Network) Now() time.Duration { return n.now }
+
+func (n *Network) step() {
+	ev := heap.Pop(&n.events).(*event)
+	n.now = ev.at
+
+	// Border inspection on arrival at the border node.
+	if n.topo.Nodes[ev.node].Kind == KindBorder && n.border != nil {
+		var s packet.Summary
+		if err := n.parser.Parse(ev.frame.Data, &s); err == nil {
+			if !n.border(ev.at, &ev.frame, &s) {
+				n.stats.BorderDrops++
+				return
+			}
+		}
+	}
+
+	if ev.hop >= len(ev.path) {
+		// Arrived at destination node.
+		n.stats.Delivered++
+		lat := ev.at - ev.sent
+		n.stats.TotalLatency += lat
+		if lat > n.stats.MaxLatency {
+			n.stats.MaxLatency = lat
+		}
+		if n.onDeliver != nil {
+			n.onDeliver(Delivery{Frame: ev.frame, Sent: ev.sent, Arrived: ev.at})
+		}
+		return
+	}
+
+	lid := ev.path[ev.hop]
+	link := &n.topo.Links[lid]
+	// Queue model: the transmitter serializes one packet at a time; a
+	// frame arriving while the queue already holds QueueLen serialization
+	// slots is dropped.
+	txTime := time.Duration(float64(len(ev.frame.Data)*8) / link.Bandwidth * float64(time.Second))
+	start := ev.at
+	if n.linkFree[lid] > start {
+		// Waiting time implies queued packets ahead of us.
+		queued := float64(n.linkFree[lid]-start) / float64(txTime+1)
+		if int(queued) >= link.QueueLen {
+			n.stats.QueueDrops++
+			return
+		}
+		start = n.linkFree[lid]
+	}
+	n.linkFree[lid] = start + txTime
+	n.stats.LinkBytes[lid] += uint64(len(ev.frame.Data))
+
+	for _, tap := range n.taps[lid] {
+		tap(start, &ev.frame)
+	}
+
+	arrive := start + txTime + time.Duration(link.PropDelay*float64(time.Second))
+	ev.at = arrive
+	ev.node = link.To
+	ev.hop++
+	n.seq++
+	ev.seq = n.seq
+	heap.Push(&n.events, ev)
+}
+
+// Replay injects every frame from gen and runs the simulation,
+// interleaving injection with processing so memory stays bounded.
+func (n *Network) Replay(gen traffic.Generator) SimStats {
+	var f traffic.Frame
+	for gen.Next(&f) {
+		n.Inject(&f)
+		// Process everything strictly earlier than the next injection to
+		// keep the event heap small.
+		for n.events.Len() > 0 && n.events[0].at < f.TS {
+			n.step()
+		}
+	}
+	return n.Run()
+}

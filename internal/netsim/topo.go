@@ -1,0 +1,250 @@
+// Package netsim is the campus production network substitute: a
+// discrete-event simulator of a hierarchical campus topology (hosts →
+// access → distribution → core → border → Internet) with link bandwidth,
+// propagation delay and finite queues. It is the testbed half of Figure 1:
+// deployable models run at the border switch, taps feed the capture
+// pipeline, and performance problems (E.g. an overloaded uplink) have a
+// place to happen.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"campuslab/internal/traffic"
+)
+
+// NodeID indexes a node in the topology.
+type NodeID int
+
+// NodeKind classifies topology nodes.
+type NodeKind uint8
+
+// Node kinds, edge to core.
+const (
+	KindHost NodeKind = iota
+	KindAccess
+	KindDist
+	KindCore
+	KindBorder
+	KindInternet
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindAccess:
+		return "access"
+	case KindDist:
+		return "dist"
+	case KindCore:
+		return "core"
+	case KindBorder:
+		return "border"
+	case KindInternet:
+		return "internet"
+	default:
+		return fmt.Sprintf("kind-%d", uint8(k))
+	}
+}
+
+// Node is one device in the campus.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Name string
+}
+
+// LinkID indexes a directed link.
+type LinkID int
+
+// Link is a directed edge with a rate/delay/queue model. Every physical
+// cable is two Links, one per direction.
+type Link struct {
+	ID        LinkID
+	From, To  NodeID
+	Bandwidth float64 // bits per second
+	PropDelay float64 // seconds
+	QueueLen  int     // packets
+}
+
+// Config sizes the generated campus.
+type Config struct {
+	// Plan supplies departments and addressing (nil = DefaultPlan(200)).
+	Plan *traffic.AddressPlan
+	// HostsPerAccess groups hosts under access switches (default 50).
+	HostsPerAccess int
+	// Access/Dist/Core/Uplink bandwidths in bits/s. Defaults: 1G access,
+	// 10G dist, 40G core, 10G uplink (the paper's campus scale).
+	AccessBW, DistBW, CoreBW, UplinkBW float64
+	// QueueLen is the per-link queue capacity in packets (default 256).
+	QueueLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Plan == nil {
+		c.Plan = traffic.DefaultPlan(200)
+	}
+	if c.HostsPerAccess <= 0 {
+		c.HostsPerAccess = 50
+	}
+	if c.AccessBW <= 0 {
+		c.AccessBW = 1e9
+	}
+	if c.DistBW <= 0 {
+		c.DistBW = 10e9
+	}
+	if c.CoreBW <= 0 {
+		c.CoreBW = 40e9
+	}
+	if c.UplinkBW <= 0 {
+		c.UplinkBW = 10e9
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 256
+	}
+	return c
+}
+
+// Topology is the built campus graph with routing state.
+type Topology struct {
+	cfg      Config
+	Nodes    []Node
+	Links    []Link
+	adj      [][]LinkID // outgoing links per node
+	nextHop  [][]LinkID // [from][dst] -> link to take
+	hostNode map[netip.Addr]NodeID
+	Border   NodeID
+	Internet NodeID
+	// Uplink is the border->internet link (the paper's 10-20 Gbps pipe);
+	// DownLink is its reverse.
+	Uplink, DownLink LinkID
+}
+
+// BuildCampus constructs the hierarchical campus for cfg.
+func BuildCampus(cfg Config) *Topology {
+	cfg = cfg.withDefaults()
+	t := &Topology{cfg: cfg, hostNode: make(map[netip.Addr]NodeID)}
+
+	addNode := func(kind NodeKind, name string) NodeID {
+		id := NodeID(len(t.Nodes))
+		t.Nodes = append(t.Nodes, Node{ID: id, Kind: kind, Name: name})
+		return id
+	}
+	addPipe := func(a, b NodeID, bw float64, delay float64) {
+		for _, dir := range [2][2]NodeID{{a, b}, {b, a}} {
+			id := LinkID(len(t.Links))
+			t.Links = append(t.Links, Link{
+				ID: id, From: dir[0], To: dir[1],
+				Bandwidth: bw, PropDelay: delay, QueueLen: cfg.QueueLen,
+			})
+		}
+	}
+
+	core := addNode(KindCore, "core-1")
+	t.Border = addNode(KindBorder, "border-1")
+	t.Internet = addNode(KindInternet, "internet")
+	addPipe(core, t.Border, cfg.CoreBW, 50e-6)
+	addPipe(t.Border, t.Internet, cfg.UplinkBW, 5e-3) // 5ms to upstream
+
+	hostIdx := 0
+	for _, dept := range cfg.Plan.Departments {
+		dist := addNode(KindDist, "dist-"+dept.Name)
+		addPipe(dist, core, cfg.DistBW, 100e-6)
+		nAccess := (dept.Hosts + cfg.HostsPerAccess - 1) / cfg.HostsPerAccess
+		for a := 0; a < nAccess; a++ {
+			acc := addNode(KindAccess, fmt.Sprintf("acc-%s-%d", dept.Name, a))
+			addPipe(acc, dist, cfg.AccessBW, 50e-6)
+			for h := 0; h < cfg.HostsPerAccess && a*cfg.HostsPerAccess+h < dept.Hosts; h++ {
+				addr := cfg.Plan.Host(hostIdx)
+				hn := addNode(KindHost, "host-"+addr.String())
+				addPipe(hn, acc, cfg.AccessBW, 10e-6)
+				t.hostNode[addr] = hn
+				hostIdx++
+			}
+		}
+	}
+	t.buildRouting()
+	// Identify the uplink pair.
+	for _, l := range t.Links {
+		if l.From == t.Border && l.To == t.Internet {
+			t.Uplink = l.ID
+		}
+		if l.From == t.Internet && l.To == t.Border {
+			t.DownLink = l.ID
+		}
+	}
+	return t
+}
+
+// buildRouting runs BFS from every node to fill next-hop tables (the
+// topology is a tree, so shortest paths are unique).
+func (t *Topology) buildRouting() {
+	n := len(t.Nodes)
+	t.adj = make([][]LinkID, n)
+	for _, l := range t.Links {
+		t.adj[l.From] = append(t.adj[l.From], l.ID)
+	}
+	t.nextHop = make([][]LinkID, n)
+	for src := 0; src < n; src++ {
+		t.nextHop[src] = make([]LinkID, n)
+		for i := range t.nextHop[src] {
+			t.nextHop[src][i] = -1
+		}
+	}
+	// BFS from each destination over reversed edges, recording the link
+	// each predecessor should take.
+	for dst := 0; dst < n; dst++ {
+		visited := make([]bool, n)
+		queue := []int{dst}
+		visited[dst] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			// All links INTO cur: their From nodes route via that link.
+			for _, l := range t.Links {
+				if int(l.To) != cur || visited[l.From] {
+					continue
+				}
+				visited[l.From] = true
+				t.nextHop[l.From][dst] = l.ID
+				queue = append(queue, int(l.From))
+			}
+		}
+	}
+}
+
+// NodeFor maps an IP to its topology node: campus hosts to their access
+// port, everything else to the Internet node.
+func (t *Topology) NodeFor(addr netip.Addr) NodeID {
+	if id, ok := t.hostNode[addr]; ok {
+		return id
+	}
+	return t.Internet
+}
+
+// Route returns the link path from src to dst node.
+func (t *Topology) Route(src, dst NodeID) []LinkID {
+	if src == dst {
+		return nil
+	}
+	var path []LinkID
+	cur := src
+	for cur != dst {
+		l := t.nextHop[cur][dst]
+		if l < 0 {
+			return nil // unreachable
+		}
+		path = append(path, l)
+		cur = t.Links[l].To
+		if len(path) > len(t.Nodes) {
+			return nil // safety: routing loop
+		}
+	}
+	return path
+}
+
+// HostCount returns the number of host nodes.
+func (t *Topology) HostCount() int { return len(t.hostNode) }

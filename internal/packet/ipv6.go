@@ -1,0 +1,85 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+const ipv6HeaderLen = 40
+
+// IPv6 is an IPv6 fixed header. Extension headers other than opaque
+// payloads are not modeled; campus traffic in the simulator does not emit
+// them, and real captures that contain them fall back to LayerTypePayload.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	Length       uint16 // payload length
+	NextHeader   IPProtocol
+	HopLimit     uint8
+	SrcIP        netip.Addr
+	DstIP        netip.Addr
+	payload      []byte
+}
+
+// LayerType implements Layer.
+func (*IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// LayerPayload implements Layer.
+func (ip *IPv6) LayerPayload() []byte { return ip.payload }
+
+// DecodeFromBytes implements DecodingLayer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv6HeaderLen {
+		return fmt.Errorf("%w: ipv6 needs %d bytes, have %d", ErrTruncated, ipv6HeaderLen, len(data))
+	}
+	if v := data[0] >> 4; v != 6 {
+		return fmt.Errorf("%w: ip version %d in ipv6 decoder", ErrMalformed, v)
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.FlowLabel = binary.BigEndian.Uint32(data[0:4]) & 0xfffff
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = IPProtocol(data[6])
+	ip.HopLimit = data[7]
+	var src, dst [16]byte
+	copy(src[:], data[8:24])
+	copy(dst[:], data[24:40])
+	ip.SrcIP = netip.AddrFrom16(src)
+	ip.DstIP = netip.AddrFrom16(dst)
+	end := ipv6HeaderLen + int(ip.Length)
+	if end > len(data) {
+		end = len(data)
+	}
+	ip.payload = data[ipv6HeaderLen:end]
+	return nil
+}
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv6) NextLayerType() LayerType {
+	switch ip.NextHeader {
+	case IPProtocolTCP:
+		return LayerTypeTCP
+	case IPProtocolUDP:
+		return LayerTypeUDP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// SerializeTo implements SerializableLayer. Length is computed from the
+// buffer contents.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	hdr, err := b.PrependBytes(ipv6HeaderLen)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(hdr[0:4], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(payloadLen))
+	hdr[6] = uint8(ip.NextHeader)
+	hdr[7] = ip.HopLimit
+	src, dst := ip.SrcIP.As16(), ip.DstIP.As16()
+	copy(hdr[8:24], src[:])
+	copy(hdr[24:40], dst[:])
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package privacy implements the "privacy-preserving data collection" stage
+// of the paper's Figure 1: prefix-preserving IP anonymization (the
+// Crypto-PAn construction), payload handling policies, a collection policy
+// engine deciding what may be stored in what form, and a k-anonymity audit
+// for datasets leaving the IT organization's custody.
+package privacy
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Anonymizer maps IP addresses to anonymized IP addresses such that two
+// addresses sharing a k-bit prefix map to addresses sharing a k-bit prefix
+// (prefix-preserving, the Crypto-PAn property). The mapping is a bijection
+// determined entirely by the key, so anonymization is consistent across
+// capture sessions — flows remain linkable without revealing hosts.
+type Anonymizer struct {
+	block cipher.Block
+	pad   [16]byte
+
+	mu    sync.RWMutex
+	cache map[netip.Addr]netip.Addr
+}
+
+// NewAnonymizer derives an anonymizer from a 32-byte key: 16 bytes key the
+// AES block, 16 bytes form the padding. Shorter secrets are stretched with
+// SHA-256.
+func NewAnonymizer(secret []byte) (*Anonymizer, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("privacy: empty anonymization secret")
+	}
+	var key [32]byte
+	if len(secret) == 32 {
+		copy(key[:], secret)
+	} else {
+		key = sha256.Sum256(secret)
+	}
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, fmt.Errorf("privacy: %w", err)
+	}
+	a := &Anonymizer{block: block, cache: make(map[netip.Addr]netip.Addr)}
+	copy(a.pad[:], key[16:32])
+	return a, nil
+}
+
+// Anonymize returns the prefix-preserving anonymized form of addr.
+// Results are cached; the method is safe for concurrent use.
+func (a *Anonymizer) Anonymize(addr netip.Addr) netip.Addr {
+	a.mu.RLock()
+	got, ok := a.cache[addr]
+	a.mu.RUnlock()
+	if ok {
+		return got
+	}
+	var out netip.Addr
+	if addr.Is4() {
+		out = a.anon4(addr)
+	} else {
+		out = a.anon16(addr)
+	}
+	a.mu.Lock()
+	a.cache[addr] = out
+	a.mu.Unlock()
+	return out
+}
+
+// anon4 runs the 32-round Crypto-PAn construction.
+func (a *Anonymizer) anon4(addr netip.Addr) netip.Addr {
+	orig := addr.As4()
+	origBits := uint32(orig[0])<<24 | uint32(orig[1])<<16 | uint32(orig[2])<<8 | uint32(orig[3])
+	var result uint32
+	var input, output [16]byte
+	for i := 0; i < 32; i++ {
+		// input = first i bits of the original address, then pad bits.
+		copy(input[:], a.pad[:])
+		if i > 0 {
+			mask := uint32(0xffffffff) << (32 - i)
+			mixed := origBits&mask | (uint32(a.pad[0])<<24|uint32(a.pad[1])<<16|uint32(a.pad[2])<<8|uint32(a.pad[3]))&^mask
+			input[0] = byte(mixed >> 24)
+			input[1] = byte(mixed >> 16)
+			input[2] = byte(mixed >> 8)
+			input[3] = byte(mixed)
+		}
+		a.block.Encrypt(output[:], input[:])
+		result |= uint32(output[0]>>7) << (31 - i)
+	}
+	anon := origBits ^ result
+	return netip.AddrFrom4([4]byte{byte(anon >> 24), byte(anon >> 16), byte(anon >> 8), byte(anon)})
+}
+
+// anon16 extends the construction to 128 bits for IPv6.
+func (a *Anonymizer) anon16(addr netip.Addr) netip.Addr {
+	orig := addr.As16()
+	var result [16]byte
+	var input, output [16]byte
+	for i := 0; i < 128; i++ {
+		copy(input[:], a.pad[:])
+		// Mix the first i bits of the original over the pad.
+		for b := 0; b < 16; b++ {
+			bitsInByte := i - b*8
+			switch {
+			case bitsInByte >= 8:
+				input[b] = orig[b]
+			case bitsInByte > 0:
+				mask := byte(0xff) << (8 - bitsInByte)
+				input[b] = orig[b]&mask | a.pad[b]&^mask
+			}
+		}
+		a.block.Encrypt(output[:], input[:])
+		if output[0]>>7 == 1 {
+			result[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	var anon [16]byte
+	for i := range anon {
+		anon[i] = orig[i] ^ result[i]
+	}
+	return netip.AddrFrom16(anon)
+}
+
+// CacheSize reports how many addresses have been anonymized so far.
+func (a *Anonymizer) CacheSize() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.cache)
+}
+
+// CommonPrefixLen returns the length of the longest common bit-prefix of
+// two addresses of the same family (the quantity Crypto-PAn preserves).
+func CommonPrefixLen(a, b netip.Addr) int {
+	ab, bb := a.As16(), b.As16()
+	start := 0
+	if a.Is4() && b.Is4() {
+		start = 96 // compare only the embedded IPv4 bits
+	}
+	n := 0
+	for i := start / 8; i < 16; i++ {
+		x := ab[i] ^ bb[i]
+		if x == 0 {
+			n += 8
+			continue
+		}
+		for m := byte(0x80); m != 0; m >>= 1 {
+			if x&m != 0 {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package roadtest
+
+import (
+	"fmt"
+	"time"
+
+	"campuslab/internal/control"
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// CanaryConfig guards a deployment with a harm budget: the model runs
+// live, but a watchdog tracks benign collateral and disables the model the
+// moment the budget is exceeded. This is the incremental, trust-building
+// rollout path §4 argues campus networks make possible.
+type CanaryConfig struct {
+	// Loop configures the candidate deployment.
+	Loop control.LoopConfig
+	// MaxBenignDrops is the absolute harm budget: the canary is killed
+	// when this many benign packets have been dropped.
+	MaxBenignDrops uint64
+	// Window is the watchdog's evaluation cadence in packets (default
+	// 100: check after every 100th packet).
+	Window int
+}
+
+// CanaryResult reports the canary outcome.
+type CanaryResult struct {
+	// RolledBack reports whether the watchdog killed the deployment.
+	RolledBack bool
+	// RollbackAt is when (0 if never).
+	RollbackAt time.Duration
+	// PacketsUntilRollback counts packets processed before the kill.
+	PacketsUntilRollback uint64
+	// BenignDropsAtRollback is the realized harm when killed.
+	BenignDropsAtRollback uint64
+	// Final are the loop statistics up to the rollback point (traffic
+	// after rollback bypasses the loop entirely — fail-open).
+	Final control.LoopStats
+}
+
+// RunCanary replays the scenario through the candidate loop under the
+// watchdog. After rollback, traffic flows unfiltered (fail-open), exactly
+// what a production network would do with a misbehaving experiment.
+func RunCanary(scenario traffic.Generator, cfg CanaryConfig) (*CanaryResult, error) {
+	loop, err := control.NewLoop(cfg.Loop)
+	if err != nil {
+		return nil, fmt.Errorf("roadtest: canary: %w", err)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 100
+	}
+	res := &CanaryResult{}
+	fp := packet.NewFlowParser()
+	var f traffic.Frame
+	var s packet.Summary
+	var processed uint64
+	for scenario.Next(&f) {
+		processed++
+		if res.RolledBack {
+			// Fail-open: count ground truth but never drop.
+			continue
+		}
+		if err := fp.Parse(f.Data, &s); err != nil {
+			continue
+		}
+		loop.Feed(&f, &s)
+		if processed%uint64(cfg.Window) == 0 {
+			snap := loop.BenignDroppedSoFar()
+			if snap > cfg.MaxBenignDrops {
+				res.RolledBack = true
+				res.RollbackAt = f.TS
+				res.PacketsUntilRollback = processed
+				res.BenignDropsAtRollback = snap
+			}
+		}
+	}
+	res.Final = loop.Finish()
+	if !res.RolledBack && res.Final.BenignDropped > cfg.MaxBenignDrops {
+		// Budget crossed between watchdog ticks at end of stream.
+		res.RolledBack = true
+		res.PacketsUntilRollback = processed
+		res.BenignDropsAtRollback = res.Final.BenignDropped
+	}
+	return res, nil
+}

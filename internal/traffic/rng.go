@@ -1,0 +1,82 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded PRNG with the distributions the generators draw from.
+// All generation is deterministic given the seed, which is what makes the
+// cross-campus reproducibility experiments exact.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uint64 returns a uniform 64-bit draw.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Exp returns an exponential draw with the given mean.
+func (g *RNG) Exp(mean float64) float64 { return g.r.ExpFloat64() * mean }
+
+// Pareto returns a bounded Pareto draw with shape alpha and scale xm.
+// Heavy-tailed flow sizes in campus traffic follow this shape.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// LogNormal returns a draw from exp(N(mu, sigma)).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// Normal returns a draw from N(mu, sigma).
+func (g *RNG) Normal(mu, sigma float64) float64 {
+	return g.r.NormFloat64()*sigma + mu
+}
+
+// Zipf returns a draw in [0, n) with Zipfian popularity (s=1.2), used for
+// destination/domain popularity.
+func (g *RNG) Zipf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF sampling over a truncated zeta distribution; n is small
+	// (domain and host catalogs), so a linear walk is fine and avoids
+	// keeping per-n state.
+	const s = 1.2
+	u := g.r.Float64()
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	u *= total
+	var acc float64
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s)
+		if u <= acc {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }

@@ -1,0 +1,146 @@
+package xai
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"campuslab/internal/ml"
+)
+
+// Counterfactual answers the operator's follow-up question to an
+// explanation: "what is the smallest change to this input that would have
+// flipped the decision?" — the contrastive form of step (iv)'s
+// white-boxing. For a tree, the exact answer is computable: project the
+// input onto every leaf of the desired class and keep the cheapest
+// projection.
+type Counterfactual struct {
+	// TargetClass is the class the modified input would receive.
+	TargetClass int
+	// Changes lists the feature modifications, fewest first.
+	Changes []FeatureChange
+	// Distance is the search objective: number of changed features plus
+	// the sum of normalized change magnitudes (lower = more plausible).
+	Distance float64
+}
+
+// FeatureChange is one modified feature.
+type FeatureChange struct {
+	Feature  int
+	Name     string
+	From, To float64
+}
+
+// String renders the counterfactual for an operator.
+func (c Counterfactual) String() string {
+	parts := make([]string, len(c.Changes))
+	for i, ch := range c.Changes {
+		parts[i] = fmt.Sprintf("%s: %.4g -> %.4g", ch.Name, ch.From, ch.To)
+	}
+	return fmt.Sprintf("would be class %d if %s", c.TargetClass, strings.Join(parts, ", "))
+}
+
+// FindCounterfactual returns the minimal modification of x that makes the
+// tree predict target. scale gives per-feature normalization constants
+// (e.g. a Standardizer's Scale, or nil for unscaled distances). It returns
+// false when no leaf of the target class exists.
+func FindCounterfactual(t *ml.Tree, schema []string, x []float64, target int, scale []float64) (Counterfactual, bool) {
+	best := Counterfactual{Distance: math.Inf(1)}
+	found := false
+	for _, r := range t.Rules() {
+		if r.Class != target {
+			continue
+		}
+		cand, ok := projectOntoRule(r, schema, x, scale)
+		if !ok {
+			continue
+		}
+		cand.TargetClass = target
+		if cand.Distance < best.Distance {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return Counterfactual{}, false
+	}
+	sort.Slice(best.Changes, func(i, j int) bool { return best.Changes[i].Feature < best.Changes[j].Feature })
+	return best, true
+}
+
+// projectOntoRule computes the cheapest x' satisfying every condition of r.
+func projectOntoRule(r ml.Rule, schema []string, x []float64, scale []float64) (Counterfactual, bool) {
+	// Intersect the rule's conditions into per-feature intervals.
+	lo := map[int]float64{}
+	hi := map[int]float64{}
+	for _, c := range r.Conds {
+		if c.LE {
+			if v, ok := hi[c.Feature]; !ok || c.Thr < v {
+				hi[c.Feature] = c.Thr
+			}
+		} else {
+			if v, ok := lo[c.Feature]; !ok || c.Thr > v {
+				lo[c.Feature] = c.Thr
+			}
+		}
+	}
+	var out Counterfactual
+	for f := range mergeKeys(lo, hi) {
+		l, hasLo := lo[f]
+		h, hasHi := hi[f]
+		if hasLo && hasHi && l >= h {
+			return Counterfactual{}, false // contradictory path (empty box)
+		}
+		cur := x[f]
+		inLo := !hasLo || cur > l
+		inHi := !hasHi || cur <= h
+		if inLo && inHi {
+			continue // already satisfied
+		}
+		// Project to the nearest boundary of the interval (l, h].
+		var to float64
+		if !inLo {
+			to = nudgeAbove(l)
+			if hasHi && to > h {
+				return Counterfactual{}, false
+			}
+		} else {
+			to = h
+		}
+		name := fmt.Sprintf("f%d", f)
+		if f < len(schema) {
+			name = schema[f]
+		}
+		out.Changes = append(out.Changes, FeatureChange{Feature: f, Name: name, From: cur, To: to})
+		norm := 1.0
+		if scale != nil && f < len(scale) && scale[f] > 0 {
+			norm = scale[f]
+		}
+		out.Distance += 1 + math.Abs(to-cur)/norm
+	}
+	if len(out.Changes) == 0 {
+		// x already satisfies the rule; distance zero (class boundary
+		// bug in the caller), treat as invalid to avoid no-op answers.
+		return Counterfactual{}, false
+	}
+	return out, true
+}
+
+// nudgeAbove returns the smallest float usefully greater than v for
+// threshold semantics (conditions are strict '>').
+func nudgeAbove(v float64) float64 {
+	step := math.Max(1e-9, math.Abs(v)*1e-9)
+	return v + step
+}
+
+func mergeKeys(a, b map[int]float64) map[int]struct{} {
+	out := make(map[int]struct{}, len(a)+len(b))
+	for k := range a {
+		out[k] = struct{}{}
+	}
+	for k := range b {
+		out[k] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package xai
+
+import (
+	"strings"
+	"testing"
+
+	"campuslab/internal/features"
+	"campuslab/internal/ml"
+)
+
+// thresholdTree builds a simple 1-feature tree: x0 <= 5 -> class 0,
+// x0 > 5 -> class 1.
+func thresholdTree(t *testing.T) *ml.Tree {
+	t.Helper()
+	d := &features.Dataset{Schema: []string{"x0"}}
+	for i := 0; i < 50; i++ {
+		v := float64(i % 10)
+		y := 0
+		if v > 5 {
+			y = 1
+		}
+		d.X = append(d.X, []float64{v})
+		d.Y = append(d.Y, y)
+	}
+	tree, err := ml.FitTree(d, 2, ml.TreeConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestCounterfactualSingleFeature(t *testing.T) {
+	tree := thresholdTree(t)
+	x := []float64{2} // class 0
+	cf, ok := FindCounterfactual(tree, []string{"x0"}, x, 1, nil)
+	if !ok {
+		t.Fatal("no counterfactual found")
+	}
+	if len(cf.Changes) != 1 || cf.Changes[0].Feature != 0 {
+		t.Fatalf("changes = %+v", cf.Changes)
+	}
+	// Applying the change must flip the prediction.
+	x2 := []float64{cf.Changes[0].To}
+	if tree.Predict(x2) != 1 {
+		t.Errorf("counterfactual value %v does not flip the tree", cf.Changes[0].To)
+	}
+	// The change should land just above the ~5 threshold, not far away.
+	if cf.Changes[0].To < 4 || cf.Changes[0].To > 7 {
+		t.Errorf("projection %v far from boundary", cf.Changes[0].To)
+	}
+	if !strings.Contains(cf.String(), "x0") {
+		t.Errorf("String = %q", cf.String())
+	}
+}
+
+func TestCounterfactualMinimality(t *testing.T) {
+	// Two-feature ring data: any counterfactual should modify few
+	// features and always flip the model.
+	train := ringData(600, 17)
+	tree, err := ml.FitTree(train, 2, ml.TreeConfig{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := features.FitStandardizer(train)
+	flipped, total := 0, 0
+	for i := 0; i < 100; i++ {
+		x := train.X[i]
+		cur := tree.Predict(x)
+		cf, ok := FindCounterfactual(tree, train.Schema, x, 1-cur, std.Scale)
+		if !ok {
+			continue
+		}
+		total++
+		x2 := append([]float64(nil), x...)
+		for _, ch := range cf.Changes {
+			x2[ch.Feature] = ch.To
+		}
+		if tree.Predict(x2) == 1-cur {
+			flipped++
+		}
+		if len(cf.Changes) > 2 {
+			t.Errorf("counterfactual touches %d features in a 2-feature space", len(cf.Changes))
+		}
+	}
+	if total == 0 {
+		t.Fatal("no counterfactuals computed")
+	}
+	if flipped != total {
+		t.Errorf("only %d/%d counterfactuals actually flip the model", flipped, total)
+	}
+}
+
+func TestCounterfactualNoTargetLeaf(t *testing.T) {
+	// Single-class dataset: no leaf of class 1 exists.
+	d := &features.Dataset{Schema: []string{"x0"}, X: [][]float64{{1}, {2}, {3}}, Y: []int{0, 0, 0}}
+	tree, err := ml.FitTree(d, 2, ml.TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FindCounterfactual(tree, d.Schema, []float64{1}, 1, nil); ok {
+		t.Error("found counterfactual to nonexistent class")
+	}
+}
+
+func TestCounterfactualOnExtractedDetector(t *testing.T) {
+	// End-to-end: extract a DNS-amp detector, ask why a benign packet is
+	// benign and what would make it attack — the full operator dialogue.
+	train := ringData(500, 19)
+	forest := trainedForest(t, train)
+	ex, err := Extract(forest, train, ExtractConfig{MaxDepth: 4, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.1}
+	cur := ex.Tree.Predict(x)
+	cf, ok := FindCounterfactual(ex.Tree, train.Schema, x, 1-cur, nil)
+	if !ok {
+		t.Fatal("no counterfactual")
+	}
+	x2 := append([]float64(nil), x...)
+	for _, ch := range cf.Changes {
+		x2[ch.Feature] = ch.To
+	}
+	if ex.Tree.Predict(x2) == cur {
+		t.Error("counterfactual does not flip the extracted model")
+	}
+}
