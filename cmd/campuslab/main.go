@@ -66,9 +66,11 @@ commands:
 func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	md := fs.Bool("md", false, "render markdown instead of aligned text")
+	workers := fs.Int("workers", 0, "offline-loop worker count (0 = GOMAXPROCS, 1 = serial; identical tables either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	experiments.SetWorkers(*workers)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("experiment: need an id or 'all'")
 	}
@@ -121,12 +123,21 @@ func cmdQuery(args []string) error {
 	}
 	st := datastore.New()
 	var rec capture.Record
+	batch := make([]capture.Record, 0, 4096)
+	flush := func() {
+		st.AddRecords(batch, 0)
+		batch = batch[:0]
+	}
 	for {
 		if err := r.Next(&rec); err != nil {
 			break
 		}
-		st.Ingest(rec.TS, rec.Link, rec.Data)
+		batch = append(batch, rec)
+		if len(batch) == cap(batch) {
+			flush()
+		}
 	}
+	flush()
 	matches, err := st.SelectExpr(*expr, *limit)
 	if err != nil {
 		return err
@@ -163,6 +174,7 @@ func cmdDevelop(args []string) error {
 	target := fs.String("target", "dns-amp", "attack class to learn")
 	depth := fs.Int("depth", 4, "deployable tree depth")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "offline-loop worker count (0 = GOMAXPROCS, 1 = serial; identical output either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,7 +183,7 @@ func cmdDevelop(args []string) error {
 		return err
 	}
 	plan := traffic.DefaultPlan(40)
-	lab, err := core.NewLab(core.Config{Name: "cli", Plan: plan})
+	lab, err := core.NewLab(core.Config{Name: "cli", Plan: plan, Workers: *workers})
 	if err != nil {
 		return err
 	}

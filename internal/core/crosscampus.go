@@ -39,6 +39,8 @@ type Algorithm struct {
 	DeployDepth int
 	// Seed is the algorithm-level seed (shared; campus data differs).
 	Seed int64
+	// Workers bounds training fan-out (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // CrossCampusResult is the train-on-i, evaluate-on-j matrix.
@@ -129,6 +131,7 @@ func RunCrossCampus(specs []CampusSpec, algo Algorithm) (*CrossCampusResult, err
 	for i := range specs {
 		forest, err := ml.FitForest(trainSets[i], 2, ml.ForestConfig{
 			Trees: algo.ForestTrees, MaxDepth: algo.ForestDepth, Seed: algo.Seed,
+			Workers: algo.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: training at %s: %w", specs[i].Name, err)

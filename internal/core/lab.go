@@ -34,6 +34,10 @@ type Config struct {
 	Policy privacy.Policy
 	// Secret keys the anonymizer (required when Policy anonymizes).
 	Secret []byte
+	// Workers bounds offline-loop fan-out: sharded ingest, feature
+	// extraction, and (as the Develop default) forest training.
+	// 0 = GOMAXPROCS, 1 = serial; results are identical either way.
+	Workers int
 }
 
 // Lab is a campus network operated as data source and testbed.
@@ -81,12 +85,24 @@ type CollectStats struct {
 	StoreStats datastore.Stats
 }
 
+// collectBatch sizes the ingest batches Collect hands to the sharded
+// store: large enough to amortize per-shard locking, small enough to keep
+// memory flat while streaming long scenarios.
+const collectBatch = 4096
+
 // Collect runs a traffic stream through privacy enforcement into the data
 // store — the "privacy-preserving data collection" arrow of Figure 1.
 // Ground-truth labels ride along for flows the generator marks as attacks.
+// Frames are ingested through the store's batched path so parsing and
+// shard updates fan out across Workers.
 func (l *Lab) Collect(gen traffic.Generator) (CollectStats, error) {
 	var cs CollectStats
 	var f traffic.Frame
+	batch := make([]traffic.Frame, 0, collectBatch)
+	flush := func() {
+		l.store.AddBatch(batch, l.cfg.Workers)
+		batch = batch[:0]
+	}
 	for gen.Next(&f) {
 		out, err := l.enforcer.Apply(f.Data)
 		if err != nil {
@@ -96,10 +112,14 @@ func (l *Lab) Collect(gen traffic.Generator) (CollectStats, error) {
 		}
 		stored := f
 		stored.Data = out
-		l.store.IngestFrame(&stored)
+		batch = append(batch, stored)
+		if len(batch) == collectBatch {
+			flush()
+		}
 		cs.Frames++
 		cs.Bytes += uint64(len(out))
 	}
+	flush()
 	cs.StoreStats = l.store.Stats()
 	return cs, nil
 }
@@ -127,7 +147,7 @@ func (l *Lab) PacketDataset(target traffic.Label, benignKeep float64) *features.
 
 // FlowDataset extracts per-flow features with multiclass labels.
 func (l *Lab) FlowDataset() *features.Dataset {
-	return features.FromFlows(l.store, l.cfg.Plan.CampusPrefix)
+	return features.FromFlowsWorkers(l.store, l.cfg.Plan.CampusPrefix, l.cfg.Workers)
 }
 
 // WindowDataset extracts per-(host, window) features.
@@ -150,6 +170,9 @@ type DevelopConfig struct {
 	MinConfidence float64
 	// Seed drives the entire loop deterministically.
 	Seed int64
+	// Workers bounds training fan-out (0 = the lab's Workers setting).
+	// Any value yields the identical deployment; only wall-clock changes.
+	Workers int
 }
 
 // Deployment is the development loop's output: every artifact of Figure 2.
@@ -200,8 +223,12 @@ func (l *Lab) Develop(cfg DevelopConfig) (*Deployment, error) {
 	ds.Shuffle(cfg.Seed)
 	train, test := ds.Split(0.7)
 
+	if cfg.Workers <= 0 {
+		cfg.Workers = l.cfg.Workers
+	}
 	forest, err := ml.FitForest(train, 2, ml.ForestConfig{
 		Trees: cfg.ForestTrees, MaxDepth: cfg.ForestDepth, Seed: cfg.Seed,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: training black box: %w", err)

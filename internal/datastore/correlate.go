@@ -3,6 +3,7 @@ package datastore
 import (
 	"net/netip"
 	"regexp"
+	"sort"
 	"time"
 
 	"campuslab/internal/eventlog"
@@ -31,14 +32,27 @@ func (s *Store) CorrelateEvents(window time.Duration) []Correlation {
 	if window <= 0 {
 		window = 5 * time.Second
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
+	s.eventsMu.RLock()
+	defer s.eventsMu.RUnlock()
 
-	// Index flows by endpoint address.
+	// Index flows by endpoint address. Each address's flow list is sorted
+	// deterministically so results don't depend on shard layout.
 	byAddr := make(map[netip.Addr][]*FlowMeta)
-	for _, fm := range s.flows {
-		byAddr[fm.Key.SrcIP] = append(byAddr[fm.Key.SrcIP], fm)
-		byAddr[fm.Key.DstIP] = append(byAddr[fm.Key.DstIP], fm)
+	for _, sh := range s.shards {
+		for _, fm := range sh.flows {
+			byAddr[fm.Key.SrcIP] = append(byAddr[fm.Key.SrcIP], fm)
+			byAddr[fm.Key.DstIP] = append(byAddr[fm.Key.DstIP], fm)
+		}
+	}
+	for _, fms := range byAddr {
+		sort.Slice(fms, func(i, j int) bool {
+			if fms[i].First != fms[j].First {
+				return fms[i].First < fms[j].First
+			}
+			return fms[i].Key.Hash() < fms[j].Key.Hash()
+		})
 	}
 
 	var out []Correlation
@@ -60,7 +74,7 @@ func (s *Store) CorrelateEvents(window time.Duration) []Correlation {
 					gap = fm.First - ev.TS
 				}
 				cp := *fm
-				cp.pktIDs = nil
+				cp.pktIDs = append([]PacketID(nil), fm.pktIDs...)
 				out = append(out, Correlation{Event: ev, Flow: cp, Gap: gap})
 			}
 		}

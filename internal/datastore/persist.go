@@ -31,21 +31,31 @@ const (
 // ErrBadSnapshot reports a corrupt or incompatible snapshot stream.
 var ErrBadSnapshot = errors.New("datastore: bad snapshot")
 
-// Save writes the store's packets and events to w. The store remains
-// usable; concurrent ingest during Save is blocked by the store lock.
+// Save writes the store's packets and events to w. Packets stream out in
+// global (timestamp, ID) order — the serial ingest order — so snapshots
+// are byte-identical at any shard count. The store remains usable;
+// concurrent ingest during Save is blocked by the shard locks.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
+	s.eventsMu.RLock()
+	defer s.eventsMu.RUnlock()
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
+	}
+	nPackets := 0
+	slabs := make([][]StoredPacket, len(s.shards))
+	for i, sh := range s.shards {
+		nPackets += len(sh.packets)
+		slabs[i] = sh.packets
 	}
 	var scratch [12]byte
 	binary.LittleEndian.PutUint16(scratch[:2], persistVersion)
 	if _, err := bw.Write(scratch[:2]); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(s.packets)))
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(nPackets))
 	if _, err := bw.Write(scratch[:8]); err != nil {
 		return err
 	}
@@ -53,8 +63,8 @@ func (s *Store) Save(w io.Writer) error {
 	if _, err := bw.Write(scratch[:8]); err != nil {
 		return err
 	}
-	for i := range s.packets {
-		sp := &s.packets[i]
+	cur := newMergeCursor(slabs)
+	for sp := cur.next(); sp != nil; sp = cur.next() {
 		binary.LittleEndian.PutUint64(scratch[:8], uint64(sp.TS))
 		binary.LittleEndian.PutUint16(scratch[8:10], sp.Link)
 		scratch[10] = byte(sp.Label)
@@ -137,11 +147,9 @@ func Load(r io.Reader) (*Store, error) {
 		}
 		id := st.IngestFrame(&f)
 		// Restore the link id lost by IngestFrame's single-tap default.
-		st.mu.Lock()
-		if sp := st.locked(id); sp != nil {
-			sp.Link = link
+		if link != 0 {
+			st.withPacket(id, func(sp *StoredPacket) { sp.Link = link })
 		}
-		st.mu.Unlock()
 	}
 	evs := make([]eventlog.Event, 0, nEvts)
 	for i := uint64(0); i < nEvts; i++ {

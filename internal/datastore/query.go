@@ -7,38 +7,102 @@ import (
 	"campuslab/internal/traffic"
 )
 
-// Select scans the store for packets matching the filter, using the time
-// index to skip ranges the expression excludes. limit 0 means unlimited.
-func (s *Store) Select(f *Filter, limit int) []StoredPacket {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	lo, hi := 0, len(s.packets)
-	if min, _, hasMin, _ := f.TimeBounds(); hasMin {
-		lo = sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= min })
-	}
-	if _, max, _, hasMax := f.TimeBounds(); hasMax {
-		hi = sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS > max })
-	}
-	var out []StoredPacket
-	for i := lo; i < hi; i++ {
-		if f.Match(&s.packets[i]) {
-			out = append(out, s.packets[i])
-			if limit > 0 && len(out) >= limit {
-				break
-			}
+// mergeCursor walks several shard packet slabs in global (TS, ID) order.
+// Each shard slab is already sorted by (TS, ID), so the merge is a k-way
+// min-pick; shard count is small (≤256), keeping the pick linear scan
+// cheaper than a heap at campus scale.
+type mergeCursor struct {
+	slabs [][]StoredPacket
+	pos   []int
+}
+
+func newMergeCursor(slabs [][]StoredPacket) *mergeCursor {
+	return &mergeCursor{slabs: slabs, pos: make([]int, len(slabs))}
+}
+
+// next returns the globally next packet, or nil when exhausted.
+func (m *mergeCursor) next() *StoredPacket {
+	best := -1
+	var bestPkt *StoredPacket
+	for si, slab := range m.slabs {
+		p := m.pos[si]
+		if p >= len(slab) {
+			continue
+		}
+		sp := &slab[p]
+		if best < 0 || sp.TS < bestPkt.TS || (sp.TS == bestPkt.TS && sp.ID < bestPkt.ID) {
+			best, bestPkt = si, sp
 		}
 	}
+	if best < 0 {
+		return nil
+	}
+	m.pos[best]++
+	return bestPkt
+}
+
+// scanRange visits packets with TS in [from, to) in global (TS, ID) order,
+// stopping early if visit returns false. Shard read locks are held for the
+// duration. A negative `to` means unbounded.
+func (s *Store) scanRange(from, to time.Duration, visit func(*StoredPacket) bool) {
+	unlock := s.rlockAll()
+	defer unlock()
+	slabs := make([][]StoredPacket, len(s.shards))
+	for i, sh := range s.shards {
+		slab := sh.packets
+		lo := 0
+		if from > 0 {
+			lo = sort.Search(len(slab), func(i int) bool { return slab[i].TS >= from })
+		}
+		hi := len(slab)
+		if to >= 0 {
+			hi = sort.Search(len(slab), func(i int) bool { return slab[i].TS >= to })
+		}
+		slabs[i] = slab[lo:hi]
+	}
+	cur := newMergeCursor(slabs)
+	for sp := cur.next(); sp != nil; sp = cur.next() {
+		if !visit(sp) {
+			return
+		}
+	}
+}
+
+// Select scans the store for packets matching the filter, using the time
+// index to skip ranges the expression excludes. limit 0 means unlimited.
+// Results are in global time order regardless of sharding.
+func (s *Store) Select(f *Filter, limit int) []StoredPacket {
+	from, to := time.Duration(0), time.Duration(-1)
+	if min, _, hasMin, _ := f.TimeBounds(); hasMin {
+		from = min
+	}
+	if _, max, _, hasMax := f.TimeBounds(); hasMax {
+		to = max + 1 // serial path used ts > max as the exclusive bound
+	}
+	var out []StoredPacket
+	s.scanRange(from, to, func(sp *StoredPacket) bool {
+		if f.Match(sp) {
+			out = append(out, *sp)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
 	return out
 }
 
-// Count returns the number of packets matching the filter.
+// Count returns the number of packets matching the filter. Order is
+// irrelevant for counting, so shards are scanned independently.
 func (s *Store) Count(f *Filter) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
 	n := 0
-	for i := range s.packets {
-		if f.Match(&s.packets[i]) {
-			n++
+	for _, sh := range s.shards {
+		for i := range sh.packets {
+			if f.Match(&sh.packets[i]) {
+				n++
+			}
 		}
 	}
 	return n
@@ -55,57 +119,49 @@ func (s *Store) SelectExpr(expr string, limit int) ([]StoredPacket, error) {
 
 // PacketsBetween returns packets in [from, to), via the time index.
 func (s *Store) PacketsBetween(from, to time.Duration) []StoredPacket {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	lo := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= from })
-	hi := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= to })
-	out := make([]StoredPacket, hi-lo)
-	copy(out, s.packets[lo:hi])
+	var out []StoredPacket
+	s.scanRange(from, to, func(sp *StoredPacket) bool {
+		out = append(out, *sp)
+		return true
+	})
 	return out
 }
 
 // Scan streams every stored packet through visit in time order, stopping
-// early if visit returns false. It holds the read lock for the duration;
-// visitors must be fast and must not call back into the store.
+// early if visit returns false. It holds the shard read locks for the
+// duration; visitors must be fast and must not call back into the store.
 func (s *Store) Scan(visit func(*StoredPacket) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for i := range s.packets {
-		if !visit(&s.packets[i]) {
-			return
-		}
-	}
+	s.scanRange(0, -1, visit)
 }
 
 // FlowsWhere returns flow metadata satisfying pred, ordered by first TS.
 func (s *Store) FlowsWhere(pred func(*FlowMeta) bool) []FlowMeta {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
 	var out []FlowMeta
-	for _, fm := range s.flows {
-		if pred(fm) {
-			cp := *fm
-			cp.pktIDs = nil
-			out = append(out, cp)
+	for _, sh := range s.shards {
+		for _, fm := range sh.flows {
+			if pred(fm) {
+				cp := *fm
+				cp.pktIDs = append([]PacketID(nil), fm.pktIDs...)
+				out = append(out, cp)
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].First != out[j].First {
-			return out[i].First < out[j].First
-		}
-		return out[i].Key.Hash() < out[j].Key.Hash()
-	})
+	unlock()
+	sortFlows(out)
 	return out
 }
 
 // LabelCounts tallies flows per ground-truth label — the class balance a
 // dataset builder needs before training.
 func (s *Store) LabelCounts() map[traffic.Label]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	unlock := s.rlockAll()
+	defer unlock()
 	out := make(map[traffic.Label]int)
-	for _, fm := range s.flows {
-		out[fm.Label]++
+	for _, sh := range s.shards {
+		for _, fm := range sh.flows {
+			out[fm.Label]++
+		}
 	}
 	return out
 }

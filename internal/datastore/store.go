@@ -3,20 +3,33 @@
 // network data" — packet records with time and flow indexes, on-the-fly
 // metadata, labels, linkage to complementary sensor events, a filter query
 // language, and retention/storage accounting.
+//
+// The store is sharded: packets and flow metadata are partitioned across N
+// shards by five-tuple hash, each shard with its own lock, packet slab and
+// flow map, so ingest scales with cores. All query surfaces merge shards
+// with a deterministic (timestamp, packet-ID) sort, so results are
+// byte-for-byte identical at any shard count — including N=1, which is the
+// exact serial store.
 package datastore
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"campuslab/internal/capture"
 	"campuslab/internal/eventlog"
 	"campuslab/internal/packet"
+	"campuslab/internal/parallel"
+	"campuslab/internal/telemetry"
 	"campuslab/internal/traffic"
 )
 
-// PacketID identifies one stored packet.
+// PacketID identifies one stored packet. IDs are allocated from a single
+// store-wide sequence (never per shard), so they stay globally unique and
+// ascending in arrival order no matter how packets are spread over shards.
 type PacketID uint64
 
 // StoredPacket is one packet record with its on-the-fly metadata (the
@@ -55,120 +68,357 @@ type FlowMeta struct {
 	pktIDs       []PacketID
 }
 
-// PacketIDs returns the IDs of this flow's packets in arrival order.
+// PacketIDs returns the IDs of this flow's packets in arrival order
+// (ascending ID). A flow lives entirely inside one shard, so the list is
+// maintained in order at ingest time and needs no merge.
 func (m *FlowMeta) PacketIDs() []PacketID { return m.pktIDs }
 
-// Store is the campus data store. Safe for one writer and many readers.
-type Store struct {
-	mu      sync.RWMutex
-	packets []StoredPacket // time-ordered (ingest order)
-	flows   map[FlowKey]*FlowMeta
-	events  []eventlog.Event // time-ordered after AddEvents sorts
-
+// shard is one partition of the store: its own lock, packet slab and flow
+// map. Within a shard, packets are ordered by (TS, ID) — both ascending.
+type shard struct {
+	mu         sync.RWMutex
+	packets    []StoredPacket
+	flows      map[FlowKey]*FlowMeta
 	dataBytes  uint64
 	indexBytes uint64
-
-	parser packet.FlowParser
-	nextID PacketID
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{flows: make(map[FlowKey]*FlowMeta)}
+// lock acquires the shard write lock, counting contended acquisitions into
+// the pipeline telemetry so shard pressure is observable.
+func (sh *shard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	telemetry.Pipeline.AddShardContention(1)
+	sh.mu.Lock()
+}
+
+// Store is the sharded campus data store. Safe for concurrent writers and
+// readers; single-writer ingest is fully deterministic.
+type Store struct {
+	shards []*shard
+	mask   uint64 // len(shards)-1; shard count is a power of two
+
+	nextID atomic.Uint64
+	lastTS atomic.Int64 // max clamped ingest timestamp seen so far
+
+	eventsMu        sync.RWMutex
+	events          []eventlog.Event // time-ordered after AddEvents sorts
+	eventIndexBytes uint64
+}
+
+// parserPool recycles flow parsers so concurrent ingest paths each get a
+// private scratch parser without per-packet allocation.
+var parserPool = sync.Pool{New: func() any { return packet.NewFlowParser() }}
+
+// DefaultShards is the shard count New uses: GOMAXPROCS rounded up to a
+// power of two, capped at 16 (past that, merge cost outweighs lock spread
+// at campus scale).
+func DefaultShards() int {
+	n := parallel.Workers(0)
+	if n > 16 {
+		n = 16
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns an empty store with DefaultShards shards.
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with n shards (rounded up to a power
+// of two; n<=0 means DefaultShards). Results of every query are identical
+// at any shard count.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	if n > 256 {
+		n = 256
+	}
+	n = ceilPow2(n)
+	s := &Store{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{flows: make(map[FlowKey]*FlowMeta)}
+	}
+	s.lastTS.Store(int64(-1 << 62))
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardFor routes a packet: flows hash to a fixed shard so per-flow state
+// never crosses shards; non-IP packets spread round-robin by ID.
+func (s *Store) shardFor(sum *packet.Summary, id PacketID) *shard {
+	if sum.HasIP {
+		return s.shards[sum.Tuple.Canonical().Hash()&s.mask]
+	}
+	return s.shards[uint64(id)&s.mask]
+}
+
+// clampTS enforces the store-wide non-decreasing timestamp contract:
+// frames must arrive in non-decreasing order (the capture pipeline
+// guarantees this per tap; multi-tap ingest should merge first); minor
+// reordering is clamped rather than corrupting the time index.
+func (s *Store) clampTS(ts time.Duration) time.Duration {
+	for {
+		last := s.lastTS.Load()
+		if int64(ts) <= last {
+			return time.Duration(last)
+		}
+		if s.lastTS.CompareAndSwap(last, int64(ts)) {
+			return ts
+		}
+	}
+}
+
+// ingestItem is one parsed, ID-assigned packet ready to apply to a shard.
+type ingestItem struct {
+	id      PacketID
+	ts      time.Duration
+	link    uint16
+	data    []byte
+	summary packet.Summary
+	label   traffic.Label
+	actor   bool
+}
+
+// apply inserts one packet into the shard and updates its flow metadata.
+// Caller holds the shard write lock. Items normally arrive in ascending ID
+// order (append fast path); concurrent single-packet ingest can interleave
+// IDs across goroutines, in which case the packet is insert-sorted and its
+// timestamp pinched into its neighbors' range to keep both orderings.
+func (sh *shard) apply(it *ingestItem) {
+	sp := StoredPacket{
+		ID: it.id, TS: it.ts, Link: it.link, Data: it.data,
+		Summary: it.summary, Label: it.label, Actor: it.actor,
+	}
+	n := len(sh.packets)
+	if n > 0 && sp.TS < sh.packets[n-1].TS {
+		sp.TS = sh.packets[n-1].TS
+	}
+	if n == 0 || sp.ID > sh.packets[n-1].ID {
+		sh.packets = append(sh.packets, sp)
+	} else {
+		i := sort.Search(n, func(i int) bool { return sh.packets[i].ID >= sp.ID })
+		if sp.TS < sh.packets[i].TS { // keep (TS, ID) co-sorted
+			sp.TS = sh.packets[i].TS
+		}
+		if i > 0 && sp.TS < sh.packets[i-1].TS {
+			sp.TS = sh.packets[i-1].TS
+		}
+		sh.packets = append(sh.packets, StoredPacket{})
+		copy(sh.packets[i+1:], sh.packets[i:])
+		sh.packets[i] = sp
+	}
+	sh.dataBytes += uint64(len(sp.Data))
+
+	if !sp.Summary.HasIP {
+		return
+	}
+	key := sp.Summary.Tuple.Canonical()
+	fm, ok := sh.flows[key]
+	if !ok {
+		fm = &FlowMeta{Key: key, First: sp.TS}
+		sh.flows[key] = fm
+		sh.indexBytes += 96 // rough per-flow index cost
+	}
+	if sp.TS > fm.Last {
+		fm.Last = sp.TS
+	}
+	fm.Packets++
+	fm.Bytes += uint64(len(sp.Data))
+	fm.PayloadBytes += uint64(sp.Summary.PayloadLen)
+	fm.TCPFlags |= sp.Summary.TCPFlags
+	if sp.Summary.IsDNS {
+		if sp.Summary.DNSResponse {
+			fm.DNSResponses++
+		} else {
+			fm.DNSQueries++
+		}
+		if sp.Summary.DNSQueryType == packet.DNSTypeANY {
+			fm.DNSAnyCount++
+		}
+	}
+	if k := len(fm.pktIDs); k == 0 || sp.ID > fm.pktIDs[k-1] {
+		fm.pktIDs = append(fm.pktIDs, sp.ID)
+	} else {
+		i := sort.Search(k, func(i int) bool { return fm.pktIDs[i] >= sp.ID })
+		fm.pktIDs = append(fm.pktIDs, 0)
+		copy(fm.pktIDs[i+1:], fm.pktIDs[i:])
+		fm.pktIDs[i] = sp.ID
+	}
+	sh.indexBytes += 8
+	if it.label != traffic.LabelBenign {
+		fm.Label = it.label
+		fm.Labeled = true
+	}
+}
+
+func (s *Store) ingest(ts time.Duration, link uint16, data []byte, label traffic.Label, actor bool) PacketID {
+	it := ingestItem{link: link, data: data, label: label, actor: actor}
+	p := parserPool.Get().(*packet.FlowParser)
+	_ = p.Parse(data, &it.summary) // ErrNotIP etc: stored with partial summary
+	parserPool.Put(p)
+	it.id = PacketID(s.nextID.Add(1) - 1)
+	it.ts = s.clampTS(ts)
+	sh := s.shardFor(&it.summary, it.id)
+	sh.lock()
+	sh.apply(&it)
+	sh.mu.Unlock()
+	return it.id
 }
 
 // Ingest parses and stores one frame captured at ts on the given link.
-// Frames must arrive in non-decreasing timestamp order (the capture
-// pipeline guarantees this per tap; multi-tap ingest should merge first).
 // Unparseable frames are stored with an empty summary so the "everything
 // seen on the wire" contract holds.
 func (s *Store) Ingest(ts time.Duration, link uint16, data []byte) PacketID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := len(s.packets); n > 0 && ts < s.packets[n-1].TS {
-		// Clamp minor reordering rather than corrupt the time index.
-		ts = s.packets[n-1].TS
-	}
-	id := s.nextID
-	s.nextID++
-	sp := StoredPacket{ID: id, TS: ts, Link: link, Data: data}
-	_ = s.parser.Parse(data, &sp.Summary) // ErrNotIP etc: stored with partial summary
-	s.packets = append(s.packets, sp)
-	s.dataBytes += uint64(len(data))
-
-	if sp.Summary.HasIP {
-		key := sp.Summary.Tuple.Canonical()
-		fm, ok := s.flows[key]
-		if !ok {
-			fm = &FlowMeta{Key: key, First: ts}
-			s.flows[key] = fm
-			s.indexBytes += 96 // rough per-flow index cost
-		}
-		fm.Last = ts
-		fm.Packets++
-		fm.Bytes += uint64(len(data))
-		fm.PayloadBytes += uint64(sp.Summary.PayloadLen)
-		fm.TCPFlags |= sp.Summary.TCPFlags
-		if sp.Summary.IsDNS {
-			if sp.Summary.DNSResponse {
-				fm.DNSResponses++
-			} else {
-				fm.DNSQueries++
-			}
-			if sp.Summary.DNSQueryType == packet.DNSTypeANY {
-				fm.DNSAnyCount++
-			}
-		}
-		fm.pktIDs = append(fm.pktIDs, id)
-		s.indexBytes += 8
-	}
-	return id
+	return s.ingest(ts, link, data, traffic.LabelBenign, false)
 }
 
 // IngestFrame stores a generator frame, registering its ground-truth label
 // at both packet and flow granularity.
 func (s *Store) IngestFrame(f *traffic.Frame) PacketID {
-	id := s.Ingest(f.TS, 0, f.Data)
-	if f.Label != traffic.LabelBenign {
-		s.mu.Lock()
-		if sp := s.locked(id); sp != nil {
-			sp.Label = f.Label
-			sp.Actor = f.Actor
-			if sp.Summary.HasIP {
-				if fm := s.flows[sp.Summary.Tuple.Canonical()]; fm != nil {
-					fm.Label = f.Label
-					fm.Labeled = true
-				}
-			}
-		}
-		s.mu.Unlock()
-	}
-	return id
+	return s.ingest(f.TS, 0, f.Data, f.Label, f.Actor)
 }
 
-func (s *Store) locked(id PacketID) *StoredPacket {
-	i := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].ID >= id })
-	if i < len(s.packets) && s.packets[i].ID == id {
-		return &s.packets[i]
+// AddBatch stores a batch of frames: parsing fans out across workers
+// (0 = GOMAXPROCS), contiguous IDs are assigned up front, and each shard
+// is locked once for its whole slice of the batch — the amortized ingest
+// path for the capture pipeline. Output is identical to calling
+// IngestFrame in order. Returns the ID of the first frame; subsequent
+// frames take consecutive IDs.
+func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
+	n := len(frames)
+	if n == 0 {
+		return PacketID(s.nextID.Load())
+	}
+	start := time.Now()
+	items := make([]ingestItem, n)
+	parallel.ForChunks(n, workers, func(lo, hi int) {
+		p := parserPool.Get().(*packet.FlowParser)
+		for i := lo; i < hi; i++ {
+			f := &frames[i]
+			it := &items[i]
+			it.link, it.data, it.label, it.actor = 0, f.Data, f.Label, f.Actor
+			it.ts = f.TS
+			_ = p.Parse(f.Data, &it.summary)
+		}
+		parserPool.Put(p)
+	})
+	base := PacketID(s.nextID.Add(uint64(n)) - uint64(n))
+	// Timestamp clamp is sequential state; resolve it once, in order.
+	prev := time.Duration(s.lastTS.Load())
+	for i := range items {
+		items[i].id = base + PacketID(i)
+		if items[i].ts < prev {
+			items[i].ts = prev
+		}
+		prev = items[i].ts
+	}
+	s.clampTS(prev)
+	// Partition by shard, preserving ID order within each partition.
+	perShard := make([][]int, len(s.shards))
+	for i := range items {
+		si := 0
+		if items[i].summary.HasIP {
+			si = int(items[i].summary.Tuple.Canonical().Hash() & s.mask)
+		} else {
+			si = int(uint64(items[i].id) & s.mask)
+		}
+		perShard[si] = append(perShard[si], i)
+	}
+	parallel.For(len(s.shards), workers, func(si int) {
+		idxs := perShard[si]
+		if len(idxs) == 0 {
+			return
+		}
+		sh := s.shards[si]
+		sh.lock()
+		for _, i := range idxs {
+			sh.apply(&items[i])
+		}
+		sh.mu.Unlock()
+	})
+	telemetry.Pipeline.RecordStage("ingest", time.Since(start))
+	return base
+}
+
+// AddRecords stores captured records through the batched path. Records
+// carry no ground-truth labels (they came off the wire, not a generator).
+func (s *Store) AddRecords(recs []capture.Record, workers int) PacketID {
+	frames := make([]traffic.Frame, len(recs))
+	for i := range recs {
+		frames[i] = traffic.Frame{TS: recs[i].TS, Data: recs[i].Data}
+	}
+	base := s.AddBatch(frames, workers)
+	// Restore per-record link ids (AddBatch's generator path defaults to 0).
+	for i := range recs {
+		if recs[i].Link != 0 {
+			s.withPacket(base+PacketID(i), func(sp *StoredPacket) { sp.Link = recs[i].Link })
+		}
+	}
+	return base
+}
+
+// withPacket runs fn on the stored packet with the given ID under its
+// shard's write lock, returning false if the ID is unknown.
+func (s *Store) withPacket(id PacketID, fn func(*StoredPacket)) bool {
+	for _, sh := range s.shards {
+		sh.lock()
+		if sp := sh.byID(id); sp != nil {
+			fn(sp)
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock()
+	}
+	return false
+}
+
+// byID finds the shard-local packet with the given ID. Caller holds at
+// least the shard read lock.
+func (sh *shard) byID(id PacketID) *StoredPacket {
+	i := sort.Search(len(sh.packets), func(i int) bool { return sh.packets[i].ID >= id })
+	if i < len(sh.packets) && sh.packets[i].ID == id {
+		return &sh.packets[i]
 	}
 	return nil
 }
 
 // Packet returns a copy of the stored packet with the given ID.
 func (s *Store) Packet(id PacketID) (StoredPacket, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if sp := s.locked(id); sp != nil {
-		return *sp, true
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if sp := sh.byID(id); sp != nil {
+			out := *sp
+			sh.mu.RUnlock()
+			return out, true
+		}
+		sh.mu.RUnlock()
 	}
 	return StoredPacket{}, false
 }
 
+// flowShard returns the shard owning key (already canonical or not).
+func (s *Store) flowShard(key FlowKey) *shard {
+	return s.shards[key.Canonical().Hash()&s.mask]
+}
+
 // LabelFlow registers ground truth (or an analyst label) for a flow.
 func (s *Store) LabelFlow(key FlowKey, label traffic.Label) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fm, ok := s.flows[key.Canonical()]
+	sh := s.flowShard(key)
+	sh.lock()
+	defer sh.mu.Unlock()
+	fm, ok := sh.flows[key.Canonical()]
 	if !ok {
 		return fmt.Errorf("datastore: no flow %v", key)
 	}
@@ -179,9 +429,10 @@ func (s *Store) LabelFlow(key FlowKey, label traffic.Label) error {
 
 // Flow returns the metadata of the flow containing the tuple.
 func (s *Store) Flow(key FlowKey) (FlowMeta, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fm, ok := s.flows[key.Canonical()]
+	sh := s.flowShard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fm, ok := sh.flows[key.Canonical()]
 	if !ok {
 		return FlowMeta{}, false
 	}
@@ -190,40 +441,66 @@ func (s *Store) Flow(key FlowKey) (FlowMeta, bool) {
 	return out, true
 }
 
+// rlockAll takes every shard read lock (in shard order) and returns the
+// unlock function. Writers only ever hold one shard at a time, so the
+// fixed acquisition order cannot deadlock.
+func (s *Store) rlockAll() func() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	return func() {
+		for _, sh := range s.shards {
+			sh.mu.RUnlock()
+		}
+	}
+}
+
 // Flows returns a snapshot of all flow metadata, ordered by first packet.
 func (s *Store) Flows() []FlowMeta {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]FlowMeta, 0, len(s.flows))
-	for _, fm := range s.flows {
-		cp := *fm
-		cp.pktIDs = nil // bulk listing omits per-packet IDs
-		out = append(out, cp)
+	unlock := s.rlockAll()
+	defer unlock()
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.flows)
 	}
+	out := make([]FlowMeta, 0, total)
+	for _, sh := range s.shards {
+		for _, fm := range sh.flows {
+			cp := *fm
+			cp.pktIDs = append([]PacketID(nil), fm.pktIDs...)
+			out = append(out, cp)
+		}
+	}
+	sortFlows(out)
+	return out
+}
+
+// sortFlows orders flow snapshots deterministically: by first packet time,
+// ties broken by key hash — the shard-merge order every listing uses.
+func sortFlows(out []FlowMeta) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].First != out[j].First {
 			return out[i].First < out[j].First
 		}
 		return out[i].Key.Hash() < out[j].Key.Hash()
 	})
-	return out
 }
 
 // AddEvents ingests complementary sensor events (already clock-corrected).
 func (s *Store) AddEvents(evs []eventlog.Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.eventsMu.Lock()
+	defer s.eventsMu.Unlock()
 	s.events = append(s.events, evs...)
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].TS < s.events[j].TS })
 	for _, e := range evs {
-		s.indexBytes += uint64(24 + len(e.Message) + len(e.Host))
+		s.eventIndexBytes += uint64(24 + len(e.Message) + len(e.Host))
 	}
 }
 
 // EventsBetween returns sensor events in [from, to).
 func (s *Store) EventsBetween(from, to time.Duration) []eventlog.Event {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.eventsMu.RLock()
+	defer s.eventsMu.RUnlock()
 	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].TS >= from })
 	hi := sort.Search(len(s.events), func(i int) bool { return s.events[i].TS >= to })
 	out := make([]eventlog.Event, hi-lo)
@@ -261,45 +538,71 @@ func (st Stats) ProjectRetention(dur time.Duration) uint64 {
 
 // Stats returns current volume accounting.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Packets:    uint64(len(s.packets)),
-		Flows:      uint64(len(s.flows)),
-		Events:     uint64(len(s.events)),
-		DataBytes:  s.dataBytes,
-		IndexBytes: s.indexBytes,
+	unlock := s.rlockAll()
+	var st Stats
+	first := time.Duration(1<<63 - 1)
+	last := time.Duration(-1 << 62)
+	for _, sh := range s.shards {
+		st.Packets += uint64(len(sh.packets))
+		st.Flows += uint64(len(sh.flows))
+		st.DataBytes += sh.dataBytes
+		st.IndexBytes += sh.indexBytes
+		if n := len(sh.packets); n > 0 {
+			if sh.packets[0].TS < first {
+				first = sh.packets[0].TS
+			}
+			if sh.packets[n-1].TS > last {
+				last = sh.packets[n-1].TS
+			}
+		}
 	}
-	if n := len(s.packets); n > 0 {
-		st.Span = s.packets[n-1].TS - s.packets[0].TS
+	unlock()
+	if st.Packets > 0 {
+		st.Span = last - first
 	}
+	s.eventsMu.RLock()
+	st.Events = uint64(len(s.events))
+	st.IndexBytes += s.eventIndexBytes
+	s.eventsMu.RUnlock()
 	return st
 }
 
 // EvictBefore drops packets (and empty flows) older than ts, returning the
-// number of packets evicted — the retention enforcement path.
+// number of packets evicted — the retention enforcement path. Shards are
+// evicted independently; a concurrent reader may observe some shards
+// trimmed before others.
 func (s *Store) EvictBefore(ts time.Duration) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cut := sort.Search(len(s.packets), func(i int) bool { return s.packets[i].TS >= ts })
+	total := 0
+	for _, sh := range s.shards {
+		sh.lock()
+		total += sh.evictBefore(ts)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+func (sh *shard) evictBefore(ts time.Duration) int {
+	cut := sort.Search(len(sh.packets), func(i int) bool { return sh.packets[i].TS >= ts })
 	if cut == 0 {
 		return 0
 	}
-	evicted := s.packets[:cut]
+	evicted := sh.packets[:cut]
 	for i := range evicted {
-		s.dataBytes -= uint64(len(evicted[i].Data))
+		sh.dataBytes -= uint64(len(evicted[i].Data))
 	}
-	s.packets = append([]StoredPacket(nil), s.packets[cut:]...)
+	sh.packets = append([]StoredPacket(nil), sh.packets[cut:]...)
 	// Rebuild flow packet-ID lists lazily: drop flows that ended before ts.
-	for k, fm := range s.flows {
+	// A flow's packets all live in this shard, so the shard-local minimum
+	// surviving ID bounds exactly the IDs this flow may still reference.
+	for k, fm := range sh.flows {
 		if fm.Last < ts {
-			delete(s.flows, k)
+			delete(sh.flows, k)
 			continue
 		}
 		if fm.First < ts {
 			minID := PacketID(0)
-			if len(s.packets) > 0 {
-				minID = s.packets[0].ID
+			if len(sh.packets) > 0 {
+				minID = sh.packets[0].ID
 			}
 			ids := fm.pktIDs[:0]
 			for _, id := range fm.pktIDs {

@@ -48,9 +48,7 @@ func E1Pipeline() (*Table, error) {
 
 	st := datastore.New()
 	start = time.Now()
-	for i := range anon {
-		st.IngestFrame(&anon[i])
-	}
+	st.AddBatch(anon, workers())
 	row("store+index", time.Since(start))
 
 	start = time.Now()
@@ -58,7 +56,7 @@ func E1Pipeline() (*Table, error) {
 	row("featurize", time.Since(start))
 
 	start = time.Now()
-	_ = features.FromFlows(st, fx.plan.CampusPrefix)
+	_ = features.FromFlowsWorkers(st, fx.plan.CampusPrefix, workers())
 	row("flow-features", time.Since(start))
 
 	if ds.Len() == 0 {

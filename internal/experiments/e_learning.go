@@ -17,7 +17,7 @@ import (
 // accuracy on ground truth, and size — the road-map step (ii) tradeoff.
 func E6ModelExtraction() (*Table, error) {
 	fx := newFixture()
-	lab, err := core.NewLab(core.Config{Name: "e6", Plan: fx.plan})
+	lab, err := core.NewLab(core.Config{Name: "e6", Plan: fx.plan, Workers: workers()})
 	if err != nil {
 		return nil, err
 	}
@@ -27,7 +27,7 @@ func E6ModelExtraction() (*Table, error) {
 	ds := lab.PacketDataset(traffic.LabelDNSAmp, 1.0)
 	ds.Shuffle(1501)
 	train, test := ds.Split(0.7)
-	forest, err := ml.FitForest(train, 2, ml.ForestConfig{Trees: 30, MaxDepth: 10, Seed: 1502})
+	forest, err := ml.FitForest(train, 2, ml.ForestConfig{Trees: 30, MaxDepth: 10, Seed: 1502, Workers: workers()})
 	if err != nil {
 		return nil, err
 	}

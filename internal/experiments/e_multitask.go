@@ -65,7 +65,7 @@ func E13MultiTask() (*Table, error) {
 	// Task 1: DNS amplification — per-packet program (the E5 pipeline).
 	{
 		ds := features.FromPackets(trainStore, 1.0).BinaryRelabel(traffic.LabelDNSAmp)
-		forest, err := ml.FitForest(ds, 2, ml.ForestConfig{Trees: 20, MaxDepth: 8, Seed: 1802})
+		forest, err := ml.FitForest(ds, 2, ml.ForestConfig{Trees: 20, MaxDepth: 8, Seed: 1802, Workers: workers()})
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +114,7 @@ func E13MultiTask() (*Table, error) {
 	// Task 3: port scan — streaming source-window detector (control plane).
 	{
 		ds := features.FromSourceWindows(trainStore, features.SourceWindowConfig{Window: time.Second, Campus: campus})
-		forest, err := ml.FitForest(ds, int(traffic.NumLabels), ml.ForestConfig{Trees: 20, MaxDepth: 8, Seed: 1803})
+		forest, err := ml.FitForest(ds, int(traffic.NumLabels), ml.ForestConfig{Trees: 20, MaxDepth: 8, Seed: 1803, Workers: workers()})
 		if err != nil {
 			return nil, err
 		}

@@ -44,14 +44,14 @@ func (fx *fixture) replayScenario(benignSeed, attackSeed int64) traffic.Generato
 // developedLab collects the training scenario and runs the full Figure 2
 // development loop, returning the lab and its deployment artifacts.
 func (fx *fixture) developedLab() (*core.Lab, *core.Deployment, error) {
-	lab, err := core.NewLab(core.Config{Name: "e-campus", Plan: fx.plan})
+	lab, err := core.NewLab(core.Config{Name: "e-campus", Plan: fx.plan, Workers: workers()})
 	if err != nil {
 		return nil, nil, err
 	}
 	if _, err := lab.Collect(fx.trainingScenario()); err != nil {
 		return nil, nil, err
 	}
-	dep, err := lab.Develop(core.DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 1003})
+	dep, err := lab.Develop(core.DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 1003, Workers: workers()})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"campuslab/internal/datastore"
 	"campuslab/internal/packet"
+	"campuslab/internal/parallel"
 	"campuslab/internal/telemetry"
 	"campuslab/internal/traffic"
 )
@@ -30,15 +31,30 @@ var FlowSchema = []string{
 	"is_udp",          // 15
 }
 
-// FromFlows extracts one labeled example per stored flow.
+// FromFlows extracts one labeled example per stored flow, fanning the
+// flow→vector work across GOMAXPROCS workers.
 func FromFlows(st *datastore.Store, campus netip.Prefix) *Dataset {
+	return FromFlowsWorkers(st, campus, 0)
+}
+
+// FromFlowsWorkers is FromFlows with an explicit worker count (0 = auto).
+// Rows are index-addressed into pre-sized slices, so the dataset is
+// identical — row for row — at any worker count; workers=1 is the serial
+// path.
+func FromFlowsWorkers(st *datastore.Store, campus netip.Prefix, workers int) *Dataset {
+	start := time.Now()
 	flows := st.Flows()
-	d := &Dataset{Schema: FlowSchema}
-	for i := range flows {
-		fm := &flows[i]
-		d.X = append(d.X, flowVector(fm, campus))
-		d.Y = append(d.Y, int(fm.Label))
+	d := &Dataset{
+		Schema: FlowSchema,
+		X:      make([][]float64, len(flows)),
+		Y:      make([]int, len(flows)),
 	}
+	parallel.For(len(flows), workers, func(i int) {
+		fm := &flows[i]
+		d.X[i] = flowVector(fm, campus)
+		d.Y[i] = int(fm.Label)
+	})
+	telemetry.Pipeline.RecordStage("featurize", time.Since(start))
 	return d
 }
 

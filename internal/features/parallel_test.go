@@ -1,0 +1,29 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFromFlowsWorkersEquivalence: the fanned-out extractor writes into
+// index-addressed slots, so the dataset must be identical — row order
+// included — at every worker count.
+func TestFromFlowsWorkersEquivalence(t *testing.T) {
+	st := scenarioStore(t)
+	base := FromFlowsWorkers(st, campusPfx, 1)
+	if base.Len() < 100 {
+		t.Fatalf("only %d flow examples", base.Len())
+	}
+	for _, w := range []int{2, 4, 16} {
+		got := FromFlowsWorkers(st, campusPfx, w)
+		if !reflect.DeepEqual(base.Schema, got.Schema) {
+			t.Fatalf("workers=%d: schema differs", w)
+		}
+		if !reflect.DeepEqual(base.X, got.X) {
+			t.Fatalf("workers=%d: feature matrix differs from serial", w)
+		}
+		if !reflect.DeepEqual(base.Y, got.Y) {
+			t.Fatalf("workers=%d: labels differ from serial", w)
+		}
+	}
+}

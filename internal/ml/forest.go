@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"campuslab/internal/features"
+	"campuslab/internal/parallel"
+	"campuslab/internal/telemetry"
 )
 
 // ForestConfig controls random-forest training.
@@ -16,8 +19,12 @@ type ForestConfig struct {
 	MaxDepth int
 	// MinSamplesSplit per tree (default 2).
 	MinSamplesSplit int
-	// Seed drives bootstrap and feature sampling.
+	// Seed drives bootstrap and feature sampling. The sampling stream is
+	// drawn serially up front, so the fitted ensemble is identical at any
+	// worker count (and to the historical serial implementation).
 	Seed int64
+	// Workers bounds training fan-out (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // Forest is a bagged random forest — the heavyweight offline "black-box"
@@ -29,7 +36,11 @@ type Forest struct {
 }
 
 // FitForest trains the ensemble: bootstrap sample per tree, sqrt(d)
-// feature subsampling at each split.
+// feature subsampling at each split. The random sampling stream (bootstrap
+// indices and per-tree seeds) is drawn serially from cfg.Seed before any
+// fan-out, then trees train concurrently across cfg.Workers goroutines —
+// so the ensemble is byte-for-byte identical at any worker count, and
+// identical to what the serial implementation has always produced.
 func FitForest(d *features.Dataset, classes int, cfg ForestConfig) (*Forest, error) {
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("ml: empty dataset")
@@ -44,28 +55,46 @@ func FitForest(d *features.Dataset, classes int, cfg ForestConfig) (*Forest, err
 	if maxFeat < 1 {
 		maxFeat = 1
 	}
+	start := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &Forest{classes: classes}
-	boot := &features.Dataset{Schema: d.Schema}
+	boots := make([][]int, cfg.Trees)
+	seeds := make([]int64, cfg.Trees)
 	for t := 0; t < cfg.Trees; t++ {
-		boot.X = boot.X[:0]
-		boot.Y = boot.Y[:0]
-		for i := 0; i < d.Len(); i++ {
-			j := rng.Intn(d.Len())
-			boot.X = append(boot.X, d.X[j])
-			boot.Y = append(boot.Y, d.Y[j])
+		ix := make([]int, d.Len())
+		for i := range ix {
+			ix[i] = rng.Intn(d.Len())
 		}
-		tree, err := FitTree(boot, classes, TreeConfig{
-			MaxDepth:        cfg.MaxDepth,
-			MinSamplesSplit: cfg.MinSamplesSplit,
-			MaxFeatures:     maxFeat,
-			Seed:            rng.Int63(),
-		})
+		boots[t] = ix
+		seeds[t] = rng.Int63()
+	}
+	f := &Forest{classes: classes, trees: make([]*Tree, cfg.Trees)}
+	errs := make([]error, cfg.Trees)
+	parallel.ForChunks(cfg.Trees, cfg.Workers, func(lo, hi int) {
+		// One reusable bootstrap buffer per worker; rows alias d.X.
+		boot := &features.Dataset{
+			Schema: d.Schema,
+			X:      make([][]float64, d.Len()),
+			Y:      make([]int, d.Len()),
+		}
+		for t := lo; t < hi; t++ {
+			for i, j := range boots[t] {
+				boot.X[i] = d.X[j]
+				boot.Y[i] = d.Y[j]
+			}
+			f.trees[t], errs[t] = FitTree(boot, classes, TreeConfig{
+				MaxDepth:        cfg.MaxDepth,
+				MinSamplesSplit: cfg.MinSamplesSplit,
+				MaxFeatures:     maxFeat,
+				Seed:            seeds[t],
+			})
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		f.trees = append(f.trees, tree)
 	}
+	telemetry.Pipeline.RecordStage("train", time.Since(start))
 	return f, nil
 }
 
@@ -79,6 +108,17 @@ func (f *Forest) Predict(x []float64) int {
 		}
 	}
 	return best
+}
+
+// PredictBatch classifies every row of X, fanning examples across workers
+// (0 = GOMAXPROCS). Output is index-addressed, so predictions are
+// identical to calling Predict row by row.
+func (f *Forest) PredictBatch(X [][]float64, workers int) []int {
+	out := make([]int, len(X))
+	parallel.For(len(X), workers, func(i int) {
+		out[i] = f.Predict(X[i])
+	})
+	return out
 }
 
 // Proba implements Classifier: the mean of member-tree probabilities.
@@ -101,6 +141,9 @@ func (f *Forest) NumClasses() int { return f.classes }
 
 // NumTrees returns the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Tree returns member tree t (equivalence testing and inspection).
+func (f *Forest) Tree(t int) *Tree { return f.trees[t] }
 
 // TotalNodes sums member-tree node counts — a size measure for the
 // black-box vs deployable-model comparison.

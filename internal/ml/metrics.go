@@ -12,12 +12,30 @@ import (
 // class i predicted as class j.
 type Confusion [][]int
 
+// BatchPredictor is implemented by classifiers whose inference
+// parallelizes over examples (the Forest); Evaluate uses it when present.
+type BatchPredictor interface {
+	PredictBatch(X [][]float64, workers int) []int
+}
+
 // Evaluate runs the classifier over d and returns the confusion matrix.
+// Classifiers implementing BatchPredictor are evaluated with fan-out; the
+// matrix is identical either way because predictions are index-addressed.
 func Evaluate(c Classifier, d *features.Dataset) Confusion {
 	n := c.NumClasses()
 	m := make(Confusion, n)
 	for i := range m {
 		m[i] = make([]int, n)
+	}
+	if bp, ok := c.(BatchPredictor); ok {
+		preds := bp.PredictBatch(d.X, 0)
+		for i, y := range d.Y {
+			if y >= n {
+				continue // class unseen at training time
+			}
+			m[y][preds[i]]++
+		}
+		return m
 	}
 	for i, x := range d.X {
 		y := d.Y[i]

@@ -1,0 +1,52 @@
+package ml
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFitForestParallelEquivalence: the ensemble must be identical —
+// tree-by-tree — at every worker count, because each tree's RNG is derived
+// from cfg.Seed + treeIndex, never from goroutine scheduling.
+func TestFitForestParallelEquivalence(t *testing.T) {
+	train := blobs(600, 0.9, 7)
+	base, err := FitForest(train, 2, ForestConfig{Trees: 17, MaxDepth: 6, Seed: 99, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		f, err := FitForest(train, 2, ForestConfig{Trees: 17, MaxDepth: 6, Seed: 99, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NumTrees() != base.NumTrees() {
+			t.Fatalf("workers=%d: %d trees, want %d", w, f.NumTrees(), base.NumTrees())
+		}
+		for i := 0; i < base.NumTrees(); i++ {
+			if !reflect.DeepEqual(base.Tree(i), f.Tree(i)) {
+				t.Fatalf("workers=%d: tree %d differs from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict: the batch-parallel inference path must
+// agree with per-row Predict at every worker count.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	train := blobs(500, 0.8, 11)
+	test := blobs(300, 0.8, 12)
+	f, err := FitForest(train, 2, ForestConfig{Trees: 12, MaxDepth: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, test.Len())
+	for i, x := range test.X {
+		want[i] = f.Predict(x)
+	}
+	for _, w := range []int{1, 4, 16} {
+		got := f.PredictBatch(test.X, w)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: PredictBatch disagrees with Predict", w)
+		}
+	}
+}

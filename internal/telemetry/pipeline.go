@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PipelineStats aggregates wall-clock time per offline-pipeline stage
+// (ingest, featurize, train, ...) plus lock-contention counters from the
+// sharded data store. It is the observability surface for the parallel
+// offline loop: cheap atomic counters, safe for concurrent recording from
+// worker pools.
+type PipelineStats struct {
+	mu     sync.Mutex
+	stages map[string]*stageCounter
+
+	shardContention atomic.Uint64
+}
+
+type stageCounter struct {
+	nanos atomic.Int64
+	calls atomic.Uint64
+}
+
+// NewPipelineStats returns an empty recorder.
+func NewPipelineStats() *PipelineStats {
+	return &PipelineStats{stages: make(map[string]*stageCounter)}
+}
+
+// Pipeline is the process-wide recorder the offline stages report into.
+var Pipeline = NewPipelineStats()
+
+func (p *PipelineStats) stage(name string) *stageCounter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sc, ok := p.stages[name]
+	if !ok {
+		sc = &stageCounter{}
+		p.stages[name] = sc
+	}
+	return sc
+}
+
+// RecordStage adds one invocation of stage taking d of wall time.
+func (p *PipelineStats) RecordStage(stage string, d time.Duration) {
+	sc := p.stage(stage)
+	sc.nanos.Add(int64(d))
+	sc.calls.Add(1)
+}
+
+// TimeStage runs fn and records its wall time under stage.
+func (p *PipelineStats) TimeStage(stage string, fn func()) {
+	start := time.Now()
+	fn()
+	p.RecordStage(stage, time.Since(start))
+}
+
+// AddShardContention counts n contended shard-lock acquisitions (an
+// acquisition that had to wait because another worker held the shard).
+func (p *PipelineStats) AddShardContention(n uint64) {
+	p.shardContention.Add(n)
+}
+
+// ShardContention returns the cumulative contended-acquisition count.
+func (p *PipelineStats) ShardContention() uint64 {
+	return p.shardContention.Load()
+}
+
+// StageSample is one stage's cumulative totals.
+type StageSample struct {
+	Stage string
+	Total time.Duration
+	Calls uint64
+}
+
+// Mean returns the mean wall time per invocation.
+func (s StageSample) Mean() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Calls)
+}
+
+// Stages returns a snapshot of every recorded stage, sorted by name.
+func (p *PipelineStats) Stages() []StageSample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StageSample, 0, len(p.stages))
+	for name, sc := range p.stages {
+		out = append(out, StageSample{
+			Stage: name,
+			Total: time.Duration(sc.nanos.Load()),
+			Calls: sc.calls.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// Reset zeroes all counters.
+func (p *PipelineStats) Reset() {
+	p.mu.Lock()
+	p.stages = make(map[string]*stageCounter)
+	p.mu.Unlock()
+	p.shardContention.Store(0)
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipelineStatsConcurrent(t *testing.T) {
+	p := NewPipelineStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.RecordStage("ingest", time.Millisecond)
+				p.AddShardContention(1)
+			}
+			p.RecordStage("train", 2*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := p.ShardContention(); got != 800 {
+		t.Fatalf("contention = %d, want 800", got)
+	}
+	stages := p.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	// Stages() is sorted by name.
+	if stages[0].Stage != "ingest" || stages[1].Stage != "train" {
+		t.Fatalf("stage order %q, %q", stages[0].Stage, stages[1].Stage)
+	}
+	if stages[0].Calls != 800 || stages[0].Total != 800*time.Millisecond {
+		t.Fatalf("ingest stage = %+v", stages[0])
+	}
+	if stages[1].Calls != 8 || stages[1].Total != 16*time.Millisecond {
+		t.Fatalf("train stage = %+v", stages[1])
+	}
+	if mean := stages[1].Mean(); mean != 2*time.Millisecond {
+		t.Fatalf("train mean = %v", mean)
+	}
+	p.Reset()
+	if p.ShardContention() != 0 || len(p.Stages()) != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestPipelineTimeStage(t *testing.T) {
+	p := NewPipelineStats()
+	p.TimeStage("featurize", func() {})
+	st := p.Stages()
+	if len(st) != 1 || st[0].Stage != "featurize" || st[0].Calls != 1 {
+		t.Fatalf("stages = %+v", st)
+	}
+}
