@@ -1,5 +1,5 @@
 // Package campuslab's root benchmarks regenerate every experiment in the
-// reproduction index (DESIGN.md §3): one benchmark per table, E1-E13.
+// reproduction index (DESIGN.md §3): one benchmark per table, E1-E14.
 // Each iteration runs the full experiment; results print the same rows the
 // tables in EXPERIMENTS.md record. Run with:
 //
@@ -45,3 +45,4 @@ func BenchmarkE10_TopDownVsBottomUp(b *testing.B) { runExperiment(b, "E10") }
 func BenchmarkE11_CanaryRollback(b *testing.B)    { runExperiment(b, "E11") }
 func BenchmarkE12_Compile(b *testing.B)           { runExperiment(b, "E12") }
 func BenchmarkE13_MultiTask(b *testing.B)         { runExperiment(b, "E13") }
+func BenchmarkE14_ChaosLoop(b *testing.B)         { runExperiment(b, "E14") }

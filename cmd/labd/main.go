@@ -5,11 +5,18 @@
 //	STATS                  store and switch statistics
 //	QUERY <expr>           filter-language query (first 10 matches)
 //	RULES                  the deployed model's operator rules
-//	EXPLAIN <idx>          evidence for a recent escalated packet
 //	LABELS                 ground-truth class counts
 //	QUIT                   close the connection
 //
-// Usage: labd -listen 127.0.0.1:7077 [-seed 3]
+// The daemon is hardened for unattended operation: concurrent connections
+// are capped (excess dialers get "ERR busy" instead of an unbounded
+// goroutine pile), each connection must issue a command within an idle
+// window or it is closed, a panicking command handler costs one "ERR
+// internal error" line rather than the process, and SIGTERM drains
+// in-flight connections for a bounded grace period before forcing them
+// closed.
+//
+// Usage: labd -listen 127.0.0.1:7077 [-seed 3] [-max-conns 64] [-drain 10s]
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -33,14 +41,19 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("labd: ")
 	var (
-		listen = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
-		seed   = flag.Int64("seed", 3, "scenario seed")
+		listen   = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		seed     = flag.Int64("seed", 3, "scenario seed")
+		maxConns = flag.Int("max-conns", 64, "max concurrent client connections (0 = unlimited)")
+		drain    = flag.Duration("drain", 10*time.Second, "grace period for in-flight connections on shutdown")
 	)
 	flag.Parse()
 
 	srv, err := newServer(*seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *maxConns > 0 {
+		srv.sem = make(chan struct{}, *maxConns)
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -51,6 +64,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	serve(ctx, ln, srv, *drain)
+}
+
+// serve accepts connections until ctx is cancelled, then drains: no new
+// connections, in-flight ones get the grace period to finish, stragglers
+// are force-closed.
+func serve(ctx context.Context, ln net.Listener, srv *server, grace time.Duration) {
 	go func() {
 		<-ctx.Done()
 		ln.Close()
@@ -59,21 +79,51 @@ func main() {
 		conn, err := ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
-				log.Print("shutting down")
-				return
+				break
 			}
 			log.Printf("accept: %v", err)
 			continue
 		}
-		go srv.handle(conn)
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			srv.handle(conn)
+		}()
 	}
+	log.Print("shutting down; draining connections")
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		n := srv.closeAll()
+		log.Printf("drain timeout; force-closed %d connections", n)
+		<-done
+	}
+	log.Print("shutdown complete")
 }
+
+// handler serves one protocol command; rest is the argument tail.
+type handler func(s *server, w *bufio.Writer, rest string)
 
 // server holds the lab state shared across connections. The store and
 // deployment are built once at startup; queries are read-only.
 type server struct {
-	lab *core.Lab
-	dep *core.Deployment
+	lab      *core.Lab
+	dep      *core.Deployment
+	handlers map[string]handler
+	// idle is the per-command read deadline: a connection that stays
+	// silent this long is closed.
+	idle time.Duration
+	// sem caps concurrent connections (nil = unlimited).
+	sem chan struct{}
+
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 func newServer(seed int64) (*server, error) {
@@ -94,62 +144,136 @@ func newServer(seed int64) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{lab: lab, dep: dep}, nil
+	s := &server{
+		lab:   lab,
+		dep:   dep,
+		idle:  2 * time.Minute,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.handlers = map[string]handler{
+		"STATS":  (*server).cmdStats,
+		"QUERY":  (*server).cmdQuery,
+		"RULES":  (*server).cmdRules,
+		"LABELS": (*server).cmdLabels,
+	}
+	return s, nil
+}
+
+// track registers a live connection for shutdown force-close; the returned
+// func unregisters it.
+func (s *server) track(conn net.Conn) func() {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}
+}
+
+// closeAll force-closes every tracked connection, returning how many.
+func (s *server) closeAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return len(s.conns)
 }
 
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			fmt.Fprintln(conn, "ERR busy: connection limit reached")
+			return
+		}
+	}
+	defer s.track(conn)()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
 	fmt.Fprintln(w, "campuslab labd ready; commands: STATS QUERY RULES LABELS QUIT")
 	w.Flush()
-	for sc.Scan() {
+	for {
+		// Refresh the deadline per command, not per connection: a client
+		// may stay connected indefinitely as long as it keeps talking.
+		conn.SetReadDeadline(time.Now().Add(s.idle))
+		if !sc.Scan() {
+			return
+		}
 		line := strings.TrimSpace(sc.Text())
 		cmd, rest, _ := strings.Cut(line, " ")
-		switch strings.ToUpper(cmd) {
-		case "QUIT":
+		if strings.EqualFold(cmd, "QUIT") {
 			fmt.Fprintln(w, "bye")
 			w.Flush()
 			return
-		case "STATS":
-			st := s.lab.Store().Stats()
-			fmt.Fprintf(w, "packets=%d flows=%d events=%d data_bytes=%d index_bytes=%d span=%v\n",
-				st.Packets, st.Flows, st.Events, st.DataBytes, st.IndexBytes, st.Span.Round(time.Millisecond))
-		case "QUERY":
-			if rest == "" {
-				fmt.Fprintln(w, "ERR QUERY needs an expression")
-				break
-			}
-			matches, err := s.lab.Store().SelectExpr(rest, 10)
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-				break
-			}
-			fmt.Fprintf(w, "OK %d\n", len(matches))
-			for i := range matches {
-				fmt.Fprintf(w, "%v %v %dB\n", matches[i].TS.Round(time.Microsecond),
-					matches[i].Summary.Tuple, matches[i].Summary.WireLen)
-			}
-		case "RULES":
-			fmt.Fprintf(w, "OK %d\n", len(s.dep.Rules))
-			for _, r := range s.dep.Rules {
-				fmt.Fprintln(w, r)
-			}
-		case "LABELS":
-			counts := s.lab.Store().LabelCounts()
-			for l := traffic.LabelBenign; l < traffic.NumLabels; l++ {
-				if counts[l] > 0 {
-					fmt.Fprintf(w, "%s=%d\n", l, counts[l])
-				}
-			}
-		case "":
-		default:
-			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 		}
+		s.dispatch(w, strings.ToUpper(cmd), rest)
 		if err := w.Flush(); err != nil {
 			return
+		}
+	}
+}
+
+// dispatch runs one command handler with panic containment: a bug in a
+// handler costs this command an error line, not the daemon.
+func (s *server) dispatch(w *bufio.Writer, cmd, rest string) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("panic in %s handler: %v", cmd, r)
+			fmt.Fprintln(w, "ERR internal error")
+		}
+	}()
+	switch h, ok := s.handlers[cmd]; {
+	case ok:
+		h(s, w, rest)
+	case cmd == "":
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+}
+
+func (s *server) cmdStats(w *bufio.Writer, _ string) {
+	st := s.lab.Store().Stats()
+	fmt.Fprintf(w, "packets=%d flows=%d events=%d data_bytes=%d index_bytes=%d span=%v\n",
+		st.Packets, st.Flows, st.Events, st.DataBytes, st.IndexBytes, st.Span.Round(time.Millisecond))
+}
+
+func (s *server) cmdQuery(w *bufio.Writer, rest string) {
+	if rest == "" {
+		fmt.Fprintln(w, "ERR QUERY needs an expression")
+		return
+	}
+	matches, err := s.lab.Store().SelectExpr(rest, 10)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d\n", len(matches))
+	for i := range matches {
+		fmt.Fprintf(w, "%v %v %dB\n", matches[i].TS.Round(time.Microsecond),
+			matches[i].Summary.Tuple, matches[i].Summary.WireLen)
+	}
+}
+
+func (s *server) cmdRules(w *bufio.Writer, _ string) {
+	fmt.Fprintf(w, "OK %d\n", len(s.dep.Rules))
+	for _, r := range s.dep.Rules {
+		fmt.Fprintln(w, r)
+	}
+}
+
+func (s *server) cmdLabels(w *bufio.Writer, _ string) {
+	counts := s.lab.Store().LabelCounts()
+	for l := traffic.LabelBenign; l < traffic.NumLabels; l++ {
+		if counts[l] > 0 {
+			fmt.Fprintf(w, "%s=%d\n", l, counts[l])
 		}
 	}
 }

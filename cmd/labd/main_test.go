@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -12,13 +13,14 @@ import (
 
 var (
 	testSrvOnce sync.Once
+	testSrv     *server
 	testSrvAddr string
 	testSrvErr  error
 )
 
-// startTestServer brings up one shared labd server (training the model is
-// expensive) and returns a fresh client connection.
-func startTestServer(t *testing.T) net.Conn {
+// sharedServer builds the one shared labd server (training the model is
+// expensive) and its listener.
+func sharedServer(t *testing.T) *server {
 	t.Helper()
 	testSrvOnce.Do(func() {
 		srv, err := newServer(3)
@@ -31,6 +33,7 @@ func startTestServer(t *testing.T) net.Conn {
 			testSrvErr = err
 			return
 		}
+		testSrv = srv
 		testSrvAddr = ln.Addr().String()
 		go func() {
 			for {
@@ -45,12 +48,70 @@ func startTestServer(t *testing.T) net.Conn {
 	if testSrvErr != nil {
 		t.Fatal(testSrvErr)
 	}
+	return testSrv
+}
+
+// startTestServer returns a fresh client connection to the shared server.
+func startTestServer(t *testing.T) net.Conn {
+	t.Helper()
+	sharedServer(t)
 	conn, err := net.DialTimeout("tcp", testSrvAddr, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
 	return conn
+}
+
+// deriveServer clones the shared server's expensive state (lab, model)
+// into an independent server so hardening tests can vary idle timeout,
+// connection cap, and handlers without disturbing other tests.
+func deriveServer(t *testing.T) *server {
+	base := sharedServer(t)
+	handlers := make(map[string]handler, len(base.handlers))
+	for k, v := range base.handlers {
+		handlers[k] = v
+	}
+	return &server{
+		lab: base.lab, dep: base.dep, handlers: handlers,
+		idle: base.idle, conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// listenWith serves srv on its own listener and returns the address.
+func listenWith(t *testing.T, srv *server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.handle(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// dialSession connects to addr and consumes the banner.
+func dialSession(t *testing.T, addr string) *protoSession {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	s := &protoSession{conn: conn, r: bufio.NewReader(conn)}
+	banner, err := s.r.ReadString('\n')
+	if err != nil || !strings.Contains(banner, "labd ready") {
+		t.Fatalf("banner = %q, err = %v", banner, err)
+	}
+	return s
 }
 
 // protoSession drives one request/response exchange.
@@ -188,4 +249,156 @@ func TestLabdConcurrentClients(t *testing.T) {
 // sscanInt parses a leading integer.
 func sscanInt(s string, out *int) (int, error) {
 	return fmt.Sscan(s, out)
+}
+
+func TestLabdConnCap(t *testing.T) {
+	srv := deriveServer(t)
+	srv.sem = make(chan struct{}, 1)
+	addr := listenWith(t, srv)
+
+	first := dialSession(t, addr) // holds the only slot
+	over, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	over.SetReadDeadline(time.Now().Add(3 * time.Second))
+	line, err := bufio.NewReader(over).ReadString('\n')
+	if err != nil {
+		t.Fatalf("over-cap connection: %v", err)
+	}
+	if !strings.HasPrefix(line, "ERR busy") {
+		t.Fatalf("over-cap connection got %q, want ERR busy", line)
+	}
+	// The admitted connection is unaffected.
+	if resp := first.send(t, "STATS"); !strings.Contains(resp, "packets=") {
+		t.Errorf("STATS on admitted conn = %q", resp)
+	}
+	// Releasing the slot lets the next dialer in.
+	first.send(t, "QUIT")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err == nil && strings.Contains(line, "labd ready") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after QUIT; last banner %q err %v", line, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestLabdPanicRecovery(t *testing.T) {
+	srv := deriveServer(t)
+	srv.handlers["BOOM"] = func(*server, *bufio.Writer, string) { panic("injected handler bug") }
+	addr := listenWith(t, srv)
+	s := dialSession(t, addr)
+	if resp := s.send(t, "BOOM"); resp != "ERR internal error" {
+		t.Fatalf("panicking handler returned %q", resp)
+	}
+	// The connection and the daemon both survive.
+	if resp := s.send(t, "STATS"); !strings.Contains(resp, "packets=") {
+		t.Errorf("STATS after panic = %q", resp)
+	}
+	s2 := dialSession(t, addr)
+	if resp := s2.send(t, "STATS"); !strings.Contains(resp, "packets=") {
+		t.Errorf("new conn after panic = %q", resp)
+	}
+}
+
+func TestLabdIdleTimeout(t *testing.T) {
+	srv := deriveServer(t)
+	srv.idle = 150 * time.Millisecond
+	addr := listenWith(t, srv)
+	s := dialSession(t, addr)
+	// Stay silent past the idle window: the server must close us.
+	s.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := s.r.ReadString('\n'); err == nil {
+		t.Fatal("idle connection not closed by server")
+	}
+	// The deadline refreshes per command: a chatty connection outlives
+	// many idle windows.
+	s2 := dialSession(t, addr)
+	for i := 0; i < 3; i++ {
+		time.Sleep(100 * time.Millisecond)
+		if resp := s2.send(t, "STATS"); !strings.Contains(resp, "packets=") {
+			t.Fatalf("command %d on chatty conn = %q", i, resp)
+		}
+	}
+}
+
+func TestLabdGracefulDrain(t *testing.T) {
+	srv := deriveServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		serve(ctx, ln, srv, 5*time.Second)
+		close(served)
+	}()
+
+	s := dialSession(t, addr)
+	cancel() // SIGTERM equivalent: stop accepting, drain in-flight
+
+	// New connections are refused once the listener is down.
+	refusedBy := time.Now().Add(3 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("listener still accepting after shutdown")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The in-flight connection finishes its work during the grace period.
+	if resp := s.send(t, "STATS"); !strings.Contains(resp, "packets=") {
+		t.Errorf("in-flight conn broken during drain: %q", resp)
+	}
+	s.send(t, "QUIT")
+	select {
+	case <-served:
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after connections drained")
+	}
+}
+
+func TestLabdDrainForceCloseStragglers(t *testing.T) {
+	srv := deriveServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		serve(ctx, ln, srv, 300*time.Millisecond)
+		close(served)
+	}()
+	s := dialSession(t, addr) // never quits: a straggler
+	cancel()
+	select {
+	case <-served:
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve hung on a straggler past the grace period")
+	}
+	// The straggler was force-closed.
+	s.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := s.r.ReadString('\n'); err == nil {
+		t.Error("straggler connection still open after forced drain")
+	}
 }

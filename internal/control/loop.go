@@ -2,11 +2,13 @@ package control
 
 import (
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"sort"
 	"time"
 
 	"campuslab/internal/dataplane"
+	"campuslab/internal/faults"
 	"campuslab/internal/features"
 	"campuslab/internal/ml"
 	"campuslab/internal/packet"
@@ -42,6 +44,21 @@ type LoopConfig struct {
 	RateLimitBps float64
 	// Resources sizes the switch (zero = DefaultResources).
 	Resources *dataplane.Resources
+
+	// Faults injects failures into the loop's instrumented points — the
+	// dataplane install path and each tier's inference — for chaos road
+	// tests. nil = always healthy, at zero cost.
+	Faults faults.Injector
+	// Retry bounds the React install retry loop (zero value = defaults:
+	// 4 attempts, 2ms base backoff doubling to 100ms, jitter seed 1).
+	Retry RetryPolicy
+	// Breaker parameterizes the per-tier circuit breakers (zero value =
+	// defaults: trip after 5 consecutive failures, 5s cooldown).
+	Breaker BreakerConfig
+	// Fallbacks is the ordered degradation chain behind the primary
+	// tier: when a tier's breaker is open, inference moves to the next
+	// entry (data plane → control plane → cloud), paying its latency.
+	Fallbacks []FallbackTier
 }
 
 // Mitigation records one react action.
@@ -67,6 +84,14 @@ type LoopStats struct {
 	AttackDropped uint64
 	BenignPackets uint64
 	BenignDropped uint64
+
+	// Resilience accounting — all zero in a healthy run.
+	InstallRetries     uint64 // install re-attempts after transient faults
+	DroppedMitigations uint64 // mitigation decisions abandoned after the retry budget
+	InstallFailures    uint64 // permanent install failures (table full / injected)
+	InferFailures      uint64 // inference requests lost to tier faults
+	FallbackInferences uint64 // inferences served by a degraded (non-primary) tier
+	BreakerTrips       uint64 // circuit-breaker openings across all tiers
 }
 
 // DetectionRecall is the fraction of attack packets dropped.
@@ -89,7 +114,9 @@ func (s *LoopStats) CollateralRate() float64 {
 type Loop struct {
 	cfg    LoopConfig
 	sw     *dataplane.Switch
-	engine *InferenceEngine
+	tiers  []*tierRuntime // index 0 = primary, then the fallback chain
+	retry  RetryPolicy
+	jitter *rand.Rand
 	stats  LoopStats
 
 	// per-victim evidence accumulation
@@ -111,6 +138,9 @@ type pendingVerdict struct {
 	victim  netip.Addr
 	conf    float64
 	attack  bool
+	// installRTT is the verdict tier's RTT: a mitigation decided from
+	// this verdict becomes effective after half of it (controller→switch).
+	installRTT time.Duration
 }
 
 // NewLoop validates cfg and builds the loop.
@@ -141,14 +171,41 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	if err := sw.Load(cfg.Program); err != nil {
 		return nil, err
 	}
-	tm := DefaultTierModels()[cfg.Tier]
-	if cfg.TierModel != nil {
-		tm = *cfg.TierModel
+	if cfg.Faults != nil {
+		sw.SetFaultInjector(cfg.Faults)
 	}
+	defaults := DefaultTierModels()
+	brk := cfg.Breaker.withDefaults()
+	newTier := func(t Tier, model ml.Classifier, override *TierModel) *tierRuntime {
+		tm := defaults[t]
+		if override != nil {
+			tm = *override
+		}
+		return &tierRuntime{
+			tier:    t,
+			model:   model,
+			engine:  NewInferenceEngine(tm),
+			breaker: breaker{cfg: brk},
+			opName:  faults.OpInfer(t.String()),
+		}
+	}
+	tiers := []*tierRuntime{newTier(cfg.Tier, cfg.Model, cfg.TierModel)}
+	for _, fb := range cfg.Fallbacks {
+		if fb.Tier == TierDataPlane {
+			return nil, fmt.Errorf("control: the data plane cannot serve as a fallback inference tier")
+		}
+		if fb.Model == nil {
+			return nil, fmt.Errorf("control: fallback %v tier requires a Model", fb.Tier)
+		}
+		tiers = append(tiers, newTier(fb.Tier, fb.Model, fb.TierModel))
+	}
+	retry := cfg.Retry.withDefaults()
 	return &Loop{
 		cfg:       cfg,
 		sw:        sw,
-		engine:    NewInferenceEngine(tm),
+		tiers:     tiers,
+		retry:     retry,
+		jitter:    rand.New(rand.NewSource(retry.Seed)),
 		windows:   make(map[netip.Addr]*victimWindow),
 		mitigated: make(map[netip.Addr]bool),
 		featBuf:   make([]float64, len(features.PacketSchema)),
@@ -175,6 +232,35 @@ func (l *Loop) Feed(f *traffic.Frame, s *packet.Summary) bool {
 	}
 
 	v := l.sw.ProcessAt(f.TS, s)
+
+	// Data-plane-tier inference faults: an inline classification drop is
+	// the data plane's "Infer" verdict. When that verdict is lost (an
+	// injected fault) or untrusted (the data-plane breaker is open), the
+	// packet is not dropped; with a fallback chain configured it is
+	// escalated to the next tier instead — fail-open with degradation,
+	// exactly what a broken classification stage forces on an operator.
+	if l.cfg.Tier == TierDataPlane && v.Action == dataplane.ActionDrop && !v.FilterHit {
+		dp := l.tiers[0]
+		lost := false
+		if !dp.breaker.allow(f.TS) {
+			lost = true
+		} else if l.cfg.Faults != nil {
+			if err := l.cfg.Faults.Fail(dp.opName); err != nil {
+				dp.breaker.failure(f.TS)
+				l.stats.InferFailures++
+				lost = true
+			} else {
+				dp.breaker.success()
+			}
+		}
+		if lost {
+			v = dataplane.Verdict{Action: dataplane.ActionPermit, RuleIndex: v.RuleIndex}
+			if len(l.tiers) > 1 {
+				l.escalate(f.TS, s)
+			}
+		}
+	}
+
 	dropped := v.Action == dataplane.ActionDrop
 	if dropped {
 		if v.FilterHit {
@@ -201,21 +287,57 @@ func (l *Loop) Feed(f *traffic.Frame, s *packet.Summary) bool {
 	return true
 }
 
-// escalate submits the packet to the tier model and schedules the verdict.
+// inferTier returns the first tier able to serve an escalated inference
+// at virtual time now: it must hold a model (the data-plane primary does
+// not) and its breaker must admit the request. nil when the whole chain
+// is down.
+func (l *Loop) inferTier(now time.Duration) *tierRuntime {
+	for _, tr := range l.tiers {
+		if tr.model == nil {
+			continue
+		}
+		if tr.breaker.allow(now) {
+			return tr
+		}
+	}
+	return nil
+}
+
+// escalate submits the packet to the first available inference tier and
+// schedules the verdict. Injected tier faults lose the request (the
+// verdict never arrives — a timeout in a real deployment) and feed that
+// tier's breaker.
 func (l *Loop) escalate(ts time.Duration, s *packet.Summary) {
 	l.stats.Escalations++
-	readyAt := l.engine.Submit(ts)
+	tr := l.inferTier(ts)
+	if tr == nil {
+		l.stats.InferFailures++
+		return // every tier down: the verdict is lost
+	}
+	if l.cfg.Faults != nil {
+		if err := l.cfg.Faults.Fail(tr.opName); err != nil {
+			tr.breaker.failure(ts)
+			l.stats.InferFailures++
+			return
+		}
+		tr.breaker.success()
+	}
+	if tr != l.tiers[0] {
+		l.stats.FallbackInferences++
+	}
+	readyAt := tr.engine.Submit(ts)
 	features.PacketVector(s, l.featBuf)
-	proba := l.cfg.Model.Proba(l.featBuf)
+	proba := tr.model.Proba(l.featBuf)
 	attackConf := 0.0
 	for c := 1; c < len(proba); c++ {
 		attackConf += proba[c]
 	}
 	l.pending = append(l.pending, pendingVerdict{
-		readyAt: readyAt,
-		victim:  s.Tuple.DstIP,
-		conf:    attackConf,
-		attack:  attackConf >= 0.5,
+		readyAt:    readyAt,
+		victim:     s.Tuple.DstIP,
+		conf:       attackConf,
+		attack:     attackConf >= 0.5,
+		installRTT: tr.engine.model.RTT,
 	})
 }
 
@@ -255,17 +377,11 @@ func (l *Loop) applyVerdict(pv pendingVerdict) {
 	if conf < l.cfg.Threshold {
 		return
 	}
-	// React: install the mitigation; effective after one controller RTT.
-	installAt := pv.readyAt + l.engine.model.RTT/2
-	key := dataplane.FilterKey{DstIP: pv.victim, Proto: l.cfg.FilterProto}
-	var err error
-	if l.cfg.RateLimitBps > 0 {
-		err = l.sw.InstallRateLimit(key, l.cfg.RateLimitBps, 4*l.cfg.RateLimitBps)
-	} else {
-		err = l.sw.InstallFilter(key, dataplane.ActionDrop)
-	}
-	if err != nil {
-		return // table full: mitigation impossible, keep accumulating
+	// React: install the mitigation; effective after one controller RTT,
+	// plus backoff for every transient install failure retried.
+	installAt, ok := l.installMitigation(pv.victim, pv.readyAt+pv.installRTT/2)
+	if !ok {
+		return // mitigation impossible right now: keep accumulating
 	}
 	l.mitigated[pv.victim] = true
 	l.stats.Mitigations = append(l.stats.Mitigations, Mitigation{
@@ -277,12 +393,60 @@ func (l *Loop) applyVerdict(pv pendingVerdict) {
 	})
 }
 
+// installMitigation drives the React install with the retry policy:
+// transient failures back off exponentially (with deterministic jitter)
+// in virtual time and retry up to the attempt budget; permanent failures
+// (table full, injected permanent faults) abort immediately. Returns the
+// effective install time and whether the install landed.
+func (l *Loop) installMitigation(victim netip.Addr, installAt time.Duration) (time.Duration, bool) {
+	key := dataplane.FilterKey{DstIP: victim, Proto: l.cfg.FilterProto}
+	backoff := l.retry.Base
+	for attempt := 1; ; attempt++ {
+		var err error
+		if l.cfg.RateLimitBps > 0 {
+			err = l.sw.InstallRateLimit(key, l.cfg.RateLimitBps, 4*l.cfg.RateLimitBps)
+		} else {
+			err = l.sw.InstallFilter(key, dataplane.ActionDrop)
+		}
+		if err == nil {
+			return installAt, true
+		}
+		if !faults.IsTransient(err) {
+			l.stats.InstallFailures++
+			return 0, false
+		}
+		if attempt >= l.retry.MaxAttempts {
+			l.stats.DroppedMitigations++
+			return 0, false
+		}
+		l.stats.InstallRetries++
+		installAt += backoff + time.Duration(l.jitter.Int63n(int64(backoff)/2+1))
+		backoff *= 2
+		if backoff > l.retry.Max {
+			backoff = l.retry.Max
+		}
+	}
+}
+
 // Finish flushes in-flight verdicts and returns final statistics.
 func (l *Loop) Finish() LoopStats {
 	l.drainPending(1 << 62)
-	_, mean, max := l.engine.LatencyStats()
-	l.stats.InferMean = mean
-	l.stats.InferMax = max
+	var requests, trips uint64
+	var total, max time.Duration
+	for _, tr := range l.tiers {
+		n, _, mx := tr.engine.LatencyStats()
+		requests += n
+		total += tr.engine.totalLat
+		if mx > max {
+			max = mx
+		}
+		trips += tr.breaker.trips
+	}
+	l.stats.BreakerTrips = trips
+	if requests > 0 {
+		l.stats.InferMean = total / time.Duration(requests)
+		l.stats.InferMax = max
+	}
 	return l.stats
 }
 

@@ -1,0 +1,132 @@
+package control
+
+import (
+	"time"
+
+	"campuslab/internal/ml"
+)
+
+// RetryPolicy bounds the React step's install retry loop. Transient
+// install failures (control-channel drops, busy table managers — injected
+// via faults.Injector in road tests) are retried with exponential backoff
+// plus deterministic jitter; permanent failures (table full) are never
+// retried. Backoff accrues in the replay's virtual clock: each retry
+// pushes the mitigation's effective install time later, which is how
+// chaos experiments measure time-to-mitigation inflation.
+type RetryPolicy struct {
+	// MaxAttempts is the total install attempts per mitigation decision
+	// (default 4). 1 disables retries.
+	MaxAttempts int
+	// Base is the first retry's backoff (default 2ms).
+	Base time.Duration
+	// Max caps the exponential backoff (default 100ms).
+	Max time.Duration
+	// Seed drives the jitter stream (default 1); jitter is uniform in
+	// [0, backoff/2] and fully deterministic per seed.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 100 * time.Millisecond
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// BreakerConfig parameterizes the per-tier circuit breakers guarding the
+// Infer step. After Trip consecutive inference failures at a tier the
+// breaker opens: the loop stops sending requests there and degrades to
+// the next tier in the fallback chain (paying that tier's latency model).
+// After Cooldown of virtual time the breaker half-opens and the next
+// request probes the tier again.
+type BreakerConfig struct {
+	// Trip is the consecutive-failure threshold (default 5).
+	Trip int
+	// Cooldown is how long an open breaker rejects the tier (default 5s
+	// of replay time).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Trip <= 0 {
+		c.Trip = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// FallbackTier is one step of the loop's degradation chain: when every
+// earlier tier's breaker is open, inference runs here instead — slower
+// (this tier's RTT/service model applies) but alive.
+type FallbackTier struct {
+	// Tier is the placement; must be TierControlPlane or TierCloud
+	// (the data plane cannot serve escalated inference).
+	Tier Tier
+	// Model classifies escalated packets at this tier.
+	Model ml.Classifier
+	// TierModel overrides the default latency envelope (nil = default).
+	TierModel *TierModel
+}
+
+// breaker is one tier's circuit breaker, driven by the replay's virtual
+// clock — deterministic, no wall time.
+type breaker struct {
+	cfg         BreakerConfig
+	consecutive int
+	open        bool
+	openUntil   time.Duration
+	trips       uint64
+}
+
+// allow reports whether the tier may serve a request at virtual time now,
+// transitioning open→half-open when the cooldown has elapsed.
+func (b *breaker) allow(now time.Duration) bool {
+	if !b.open {
+		return true
+	}
+	if now >= b.openUntil {
+		// Half-open: admit one probe; failure() re-opens immediately
+		// because consecutive resumes from Trip-1.
+		b.open = false
+		b.consecutive = b.cfg.Trip - 1
+		return true
+	}
+	return false
+}
+
+// failure records a failed request, tripping the breaker at the
+// consecutive-failure threshold.
+func (b *breaker) failure(now time.Duration) {
+	b.consecutive++
+	if b.consecutive >= b.cfg.Trip {
+		b.open = true
+		b.openUntil = now + b.cfg.Cooldown
+		b.trips++
+		b.consecutive = 0
+	}
+}
+
+// success resets the consecutive-failure count (and closes a half-open
+// breaker for good).
+func (b *breaker) success() { b.consecutive = 0 }
+
+// tierRuntime is one tier of the loop's inference chain: the primary at
+// index 0, fallbacks after it in degradation order.
+type tierRuntime struct {
+	tier    Tier
+	model   ml.Classifier // nil only for a data-plane primary
+	engine  *InferenceEngine
+	breaker breaker
+	opName  string // faults op name, "infer.<tier>"
+}

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"campuslab/internal/control"
+	"campuslab/internal/datastore"
 	"campuslab/internal/eventlog"
 	"campuslab/internal/privacy"
 	"campuslab/internal/roadtest"
@@ -232,5 +236,57 @@ func TestLabDatasets(t *testing.T) {
 	}
 	if d := lab.PacketDataset(traffic.LabelDNSAmp, 0.5); d.Len() == 0 {
 		t.Error("empty packet dataset")
+	}
+}
+
+func TestLabSnapshotRoundTrip(t *testing.T) {
+	lab := newLab(t)
+	if _, err := lab.Collect(scenario(lab, 330, 331)); err != nil {
+		t.Fatal(err)
+	}
+	want := lab.Store().Stats()
+	path := filepath.Join(t.TempDir(), "lab.clds")
+	if err := lab.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newLab(t)
+	if err := fresh.RestoreSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Store().Stats()
+	if got.Packets != want.Packets || got.Flows != want.Flows || got.DataBytes != want.DataBytes {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+	// The restored lab is a working lab: develop a model from it.
+	if _, err := fresh.Develop(DevelopConfig{Target: traffic.LabelDNSAmp, Seed: 332}); err != nil {
+		t.Fatalf("develop on restored lab: %v", err)
+	}
+}
+
+func TestLabRestoreRejectsCorruptSnapshot(t *testing.T) {
+	lab := newLab(t)
+	if _, err := lab.Collect(scenario(lab, 333, 334)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lab.clds")
+	if err := lab.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := lab.Store().Stats()
+	if err := lab.RestoreSnapshot(path); !errors.Is(err, datastore.ErrBadSnapshot) {
+		t.Fatalf("corrupt snapshot: want ErrBadSnapshot, got %v", err)
+	}
+	// The failed restore must not have touched the live store.
+	if after := lab.Store().Stats(); after.Packets != before.Packets {
+		t.Errorf("failed restore altered the live store: %+v vs %+v", after, before)
 	}
 }

@@ -78,6 +78,25 @@ func (l *Lab) Plan() *traffic.AddressPlan { return l.cfg.Plan }
 // Store exposes the data store for queries.
 func (l *Lab) Store() *datastore.Store { return l.store }
 
+// SaveSnapshot writes the lab's collected data to path crash-safely:
+// checksummed, fsynced, and atomically renamed into place, so a crash
+// mid-save never clobbers the previous snapshot.
+func (l *Lab) SaveSnapshot(path string) error {
+	return l.store.SaveFile(path)
+}
+
+// RestoreSnapshot replaces the lab's store with the snapshot at path.
+// Corrupt or truncated snapshots are rejected with a typed error and the
+// current store is left untouched.
+func (l *Lab) RestoreSnapshot(path string) error {
+	st, err := datastore.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	l.store = st
+	return nil
+}
+
 // CollectStats summarizes one collection run.
 type CollectStats struct {
 	Frames     uint64

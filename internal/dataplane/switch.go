@@ -1,13 +1,20 @@
 package dataplane
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
 	"time"
 
+	"campuslab/internal/faults"
 	"campuslab/internal/packet"
 )
+
+// ErrTableFull reports a rule install rejected because the exact-match
+// table budget is exhausted — a permanent condition until entries are
+// removed; retrying without freeing space cannot succeed.
+var ErrTableFull = errors.New("dataplane: filter table full")
 
 // FieldVector is the per-packet header view the pipeline matches on.
 type FieldVector struct {
@@ -80,6 +87,7 @@ type Switch struct {
 	mu      sync.RWMutex
 	prog    *Program
 	res     Resources
+	faults  faults.Injector // nil = healthy
 	filters map[FilterKey]ActionKind
 	meters  map[FilterKey]*TokenBucket
 
@@ -120,13 +128,39 @@ func (sw *Switch) Program() *Program {
 	return sw.prog
 }
 
+// SetFaultInjector points the switch's install path at a fault injector
+// (nil restores always-healthy). Real switches lose rule installs — the
+// control channel drops a message, the table manager is busy — and this is
+// where road tests make that happen on demand.
+func (sw *Switch) SetFaultInjector(inj faults.Injector) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.faults = inj
+}
+
+// failInstall consults the injector for one install attempt.
+func (sw *Switch) failInstall() error {
+	if sw.faults == nil {
+		return nil
+	}
+	if err := sw.faults.Fail(faults.OpInstall); err != nil {
+		return fmt.Errorf("dataplane: install: %w", err)
+	}
+	return nil
+}
+
 // InstallFilter adds a runtime filter entry, honoring the exact-match
-// table budget.
+// table budget. Errors are typed: injected faults classify via
+// faults.IsTransient/IsPermanent, table exhaustion is ErrTableFull
+// (permanent — retrying cannot succeed until entries are removed).
 func (sw *Switch) InstallFilter(key FilterKey, action ActionKind) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if err := sw.failInstall(); err != nil {
+		return err
+	}
 	if _, exists := sw.filters[key]; !exists && len(sw.filters) >= sw.res.ExactEntries {
-		return fmt.Errorf("dataplane: filter table full (%d entries)", sw.res.ExactEntries)
+		return fmt.Errorf("%w (%d entries)", ErrTableFull, sw.res.ExactEntries)
 	}
 	sw.filters[key] = action
 	return nil
@@ -142,8 +176,11 @@ func (sw *Switch) InstallRateLimit(key FilterKey, rateBps, burst float64) error 
 	}
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if err := sw.failInstall(); err != nil {
+		return err
+	}
 	if _, exists := sw.meters[key]; !exists && len(sw.filters)+len(sw.meters) >= sw.res.ExactEntries {
-		return fmt.Errorf("dataplane: filter table full (%d entries)", sw.res.ExactEntries)
+		return fmt.Errorf("%w (%d entries)", ErrTableFull, sw.res.ExactEntries)
 	}
 	sw.meters[key] = tb
 	return nil

@@ -5,31 +5,79 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"campuslab/internal/eventlog"
+	"campuslab/internal/faults"
 	"campuslab/internal/traffic"
 )
 
-// The persistence format is a simple length-prefixed binary stream:
+// The persistence format is a simple length-prefixed binary stream, with
+// a CRC32 (IEEE) per section so corruption is detected instead of loaded:
 //
-//	header:  magic "CLDS" | version u16 | packet count u64 | event count u64
-//	packet:  ts i64 | link u16 | label u8 | actor u8 | len u32 | bytes
-//	event:   ts i64 | source u8 | severity u8 | hostLen u16 | host |
-//	         msgLen u32 | msg
+//	header:  magic "CLDS" | version u16 |
+//	         packet count u64 | event count u64 | header crc u32
+//	packets: per packet: ts i64 | link u16 | label u8 | actor u8 |
+//	         len u32 | bytes
+//	         then: packets-section crc u32
+//	events:  per event: ts i64 | source u8 | severity u8 |
+//	         hostLen u16 | host | msgLen u32 | msg
+//	         then: events-section crc u32
 //
 // Flow metadata and indexes are rebuilt on load (they are derived data),
 // which keeps the format stable across index-layout changes — the same
-// choice real capture stores make.
+// choice real capture stores make. File-level snapshots (SaveFile) are
+// crash-safe: written to a temp file in the target directory, fsynced,
+// then atomically renamed over the target, so a crash mid-save always
+// leaves the previous snapshot intact.
 
 const (
 	persistMagic   = "CLDS"
-	persistVersion = 1
+	persistVersion = 2
 )
 
 // ErrBadSnapshot reports a corrupt or incompatible snapshot stream.
 var ErrBadSnapshot = errors.New("datastore: bad snapshot")
+
+// ErrChecksum reports a snapshot whose section checksum does not match —
+// truncation or bit rot. It wraps ErrBadSnapshot, so errors.Is works
+// against either sentinel.
+var ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+
+// SetFaultInjector points SaveFile's write/sync/rename steps at a fault
+// injector (nil restores always-healthy) so crash-safety tests can kill a
+// snapshot save midway.
+func (s *Store) SetFaultInjector(inj faults.Injector) { s.persistFaults = inj }
+
+// crcWriter accumulates a CRC32 over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cw *crcWriter) WriteString(s string) (int, error) { return cw.Write([]byte(s)) }
+
+// crcReader accumulates a CRC32 over everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
 
 // Save writes the store's packets and events to w. Packets stream out in
 // global (timestamp, ID) order — the serial ingest order — so snapshots
@@ -55,12 +103,16 @@ func (s *Store) Save(w io.Writer) error {
 	if _, err := bw.Write(scratch[:2]); err != nil {
 		return err
 	}
+	cw := &crcWriter{w: bw}
 	binary.LittleEndian.PutUint64(scratch[:8], uint64(nPackets))
-	if _, err := bw.Write(scratch[:8]); err != nil {
+	if _, err := cw.Write(scratch[:8]); err != nil {
 		return err
 	}
 	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(s.events)))
-	if _, err := bw.Write(scratch[:8]); err != nil {
+	if _, err := cw.Write(scratch[:8]); err != nil {
+		return err
+	}
+	if err := writeCRC(bw, cw); err != nil {
 		return err
 	}
 	cur := newMergeCursor(slabs)
@@ -72,16 +124,19 @@ func (s *Store) Save(w io.Writer) error {
 		if sp.Actor {
 			scratch[11] = 1
 		}
-		if _, err := bw.Write(scratch[:12]); err != nil {
+		if _, err := cw.Write(scratch[:12]); err != nil {
 			return err
 		}
 		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(sp.Data)))
-		if _, err := bw.Write(scratch[:4]); err != nil {
+		if _, err := cw.Write(scratch[:4]); err != nil {
 			return err
 		}
-		if _, err := bw.Write(sp.Data); err != nil {
+		if _, err := cw.Write(sp.Data); err != nil {
 			return err
 		}
+	}
+	if err := writeCRC(bw, cw); err != nil {
+		return err
 	}
 	for i := range s.events {
 		ev := &s.events[i]
@@ -89,28 +144,58 @@ func (s *Store) Save(w io.Writer) error {
 		scratch[8] = byte(ev.Source)
 		scratch[9] = byte(ev.Severity)
 		binary.LittleEndian.PutUint16(scratch[10:12], uint16(len(ev.Host)))
-		if _, err := bw.Write(scratch[:12]); err != nil {
+		if _, err := cw.Write(scratch[:12]); err != nil {
 			return err
 		}
-		if _, err := bw.WriteString(ev.Host); err != nil {
+		if _, err := cw.WriteString(ev.Host); err != nil {
 			return err
 		}
 		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(ev.Message)))
-		if _, err := bw.Write(scratch[:4]); err != nil {
+		if _, err := cw.Write(scratch[:4]); err != nil {
 			return err
 		}
-		if _, err := bw.WriteString(ev.Message); err != nil {
+		if _, err := cw.WriteString(ev.Message); err != nil {
 			return err
 		}
+	}
+	if err := writeCRC(bw, cw); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
+// writeCRC emits cw's accumulated section checksum (bypassing cw so the
+// checksum doesn't checksum itself) and resets it for the next section.
+func writeCRC(w io.Writer, cw *crcWriter) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], cw.crc)
+	cw.crc = 0
+	_, err := w.Write(b[:])
+	return err
+}
+
+// checkCRC reads a stored section checksum (bypassing cr) and compares it
+// against the accumulated one, resetting cr for the next section.
+func checkCRC(r io.Reader, cr *crcReader, section string) error {
+	sum := cr.crc
+	cr.crc = 0
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("%w: %s crc: %v", ErrBadSnapshot, section, err)
+	}
+	if stored := binary.LittleEndian.Uint32(b[:]); stored != sum {
+		return fmt.Errorf("%w: %s section (stored %08x, computed %08x)", ErrChecksum, section, stored, sum)
+	}
+	return nil
+}
+
 // Load reads a snapshot into a fresh store, re-ingesting every packet so
-// all indexes and flow metadata are rebuilt.
+// all indexes and flow metadata are rebuilt. Truncated or corrupt
+// snapshots return an error wrapping ErrBadSnapshot (ErrChecksum for
+// checksum mismatches) — never a silently wrong store.
 func Load(r io.Reader) (*Store, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	head := make([]byte, 4+2+8+8)
+	head := make([]byte, 4+2)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
 	}
@@ -120,21 +205,29 @@ func Load(r io.Reader) (*Store, error) {
 	if v := binary.LittleEndian.Uint16(head[4:6]); v != persistVersion {
 		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, v)
 	}
-	nPkts := binary.LittleEndian.Uint64(head[6:14])
-	nEvts := binary.LittleEndian.Uint64(head[14:22])
+	cr := &crcReader{r: br}
+	var counts [16]byte
+	if _, err := io.ReadFull(cr, counts[:]); err != nil {
+		return nil, fmt.Errorf("%w: header counts: %v", ErrBadSnapshot, err)
+	}
+	nPkts := binary.LittleEndian.Uint64(counts[:8])
+	nEvts := binary.LittleEndian.Uint64(counts[8:16])
+	if err := checkCRC(br, cr, "header"); err != nil {
+		return nil, err
+	}
 
 	st := New()
 	var scratch [12]byte
 	var f traffic.Frame
 	for i := uint64(0); i < nPkts; i++ {
-		if _, err := io.ReadFull(br, scratch[:12]); err != nil {
+		if _, err := io.ReadFull(cr, scratch[:12]); err != nil {
 			return nil, fmt.Errorf("%w: packet %d header: %v", ErrBadSnapshot, i, err)
 		}
 		f.TS = time.Duration(binary.LittleEndian.Uint64(scratch[:8]))
 		link := binary.LittleEndian.Uint16(scratch[8:10])
 		f.Label = traffic.Label(scratch[10])
 		f.Actor = scratch[11] == 1
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
 			return nil, fmt.Errorf("%w: packet %d len: %v", ErrBadSnapshot, i, err)
 		}
 		n := binary.LittleEndian.Uint32(scratch[:4])
@@ -142,7 +235,7 @@ func Load(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("%w: packet %d claims %d bytes", ErrBadSnapshot, i, n)
 		}
 		f.Data = make([]byte, n)
-		if _, err := io.ReadFull(br, f.Data); err != nil {
+		if _, err := io.ReadFull(cr, f.Data); err != nil {
 			return nil, fmt.Errorf("%w: packet %d body: %v", ErrBadSnapshot, i, err)
 		}
 		id := st.IngestFrame(&f)
@@ -151,9 +244,12 @@ func Load(r io.Reader) (*Store, error) {
 			st.withPacket(id, func(sp *StoredPacket) { sp.Link = link })
 		}
 	}
-	evs := make([]eventlog.Event, 0, nEvts)
+	if err := checkCRC(br, cr, "packets"); err != nil {
+		return nil, err
+	}
+	evs := make([]eventlog.Event, 0, min(nEvts, 1<<16))
 	for i := uint64(0); i < nEvts; i++ {
-		if _, err := io.ReadFull(br, scratch[:12]); err != nil {
+		if _, err := io.ReadFull(cr, scratch[:12]); err != nil {
 			return nil, fmt.Errorf("%w: event %d header: %v", ErrBadSnapshot, i, err)
 		}
 		var ev eventlog.Event
@@ -162,11 +258,11 @@ func Load(r io.Reader) (*Store, error) {
 		ev.Severity = eventlog.Severity(scratch[9])
 		hostLen := binary.LittleEndian.Uint16(scratch[10:12])
 		host := make([]byte, hostLen)
-		if _, err := io.ReadFull(br, host); err != nil {
+		if _, err := io.ReadFull(cr, host); err != nil {
 			return nil, fmt.Errorf("%w: event %d host: %v", ErrBadSnapshot, i, err)
 		}
 		ev.Host = string(host)
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
 			return nil, fmt.Errorf("%w: event %d msg len: %v", ErrBadSnapshot, i, err)
 		}
 		msgLen := binary.LittleEndian.Uint32(scratch[:4])
@@ -174,14 +270,92 @@ func Load(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("%w: event %d claims %d-byte message", ErrBadSnapshot, i, msgLen)
 		}
 		msg := make([]byte, msgLen)
-		if _, err := io.ReadFull(br, msg); err != nil {
+		if _, err := io.ReadFull(cr, msg); err != nil {
 			return nil, fmt.Errorf("%w: event %d msg: %v", ErrBadSnapshot, i, err)
 		}
 		ev.Message = string(msg)
 		evs = append(evs, ev)
 	}
+	if err := checkCRC(br, cr, "events"); err != nil {
+		return nil, err
+	}
 	if len(evs) > 0 {
 		st.AddEvents(evs)
 	}
 	return st, nil
+}
+
+// faultWriter consults the store's injector before every write, so a
+// scripted schedule can kill a snapshot save at an exact byte boundary.
+type faultWriter struct {
+	w   io.Writer
+	inj faults.Injector
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if err := fw.inj.Fail(faults.OpStoreWrite); err != nil {
+		return 0, err
+	}
+	return fw.w.Write(p)
+}
+
+// SaveFile writes a crash-safe snapshot to path: the stream goes to a
+// temp file in the same directory, is fsynced, and is atomically renamed
+// over path. A crash (or injected fault) at any point leaves either the
+// old snapshot or the new one at path — never a truncated hybrid.
+func (s *Store) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("datastore: snapshot temp file: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+	var w io.Writer = tmp
+	if s.persistFaults != nil {
+		w = &faultWriter{w: tmp, inj: s.persistFaults}
+	}
+	if err = s.Save(w); err != nil {
+		return fmt.Errorf("datastore: snapshot write: %w", err)
+	}
+	if s.persistFaults != nil {
+		if err = s.persistFaults.Fail(faults.OpStoreSync); err != nil {
+			return fmt.Errorf("datastore: snapshot sync: %w", err)
+		}
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("datastore: snapshot sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("datastore: snapshot close: %w", err)
+	}
+	if s.persistFaults != nil {
+		if err = s.persistFaults.Fail(faults.OpStoreRename); err != nil {
+			return fmt.Errorf("datastore: snapshot rename: %w", err)
+		}
+	}
+	if err = os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("datastore: snapshot rename: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot file written by SaveFile.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: snapshot open: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }

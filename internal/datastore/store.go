@@ -21,6 +21,7 @@ import (
 
 	"campuslab/internal/capture"
 	"campuslab/internal/eventlog"
+	"campuslab/internal/faults"
 	"campuslab/internal/packet"
 	"campuslab/internal/parallel"
 	"campuslab/internal/telemetry"
@@ -105,6 +106,10 @@ type Store struct {
 	eventsMu        sync.RWMutex
 	events          []eventlog.Event // time-ordered after AddEvents sorts
 	eventIndexBytes uint64
+
+	// persistFaults injects failures into SaveFile's write/sync/rename
+	// steps for crash-safety tests (nil = healthy).
+	persistFaults faults.Injector
 }
 
 // parserPool recycles flow parsers so concurrent ingest paths each get a

@@ -1,0 +1,133 @@
+package roadtest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"campuslab/internal/control"
+	"campuslab/internal/traffic"
+)
+
+// benignOnly returns a deterministic benign-only scenario; with the
+// drop-all-UDP program, every UDP packet it carries is a benign drop.
+func benignOnly(a *artifacts, seed int64) traffic.Generator {
+	return traffic.NewCampus(traffic.Profile{Plan: a.plan, FlowsPerSecond: 60, Duration: 3 * time.Second, Seed: seed})
+}
+
+// TestCanaryBudgetBoundary pins the watchdog's comparison: the budget is
+// an allowance, so realized harm exactly equal to MaxBenignDrops must NOT
+// trigger rollback, while a budget one below the realized harm must.
+func TestCanaryBudgetBoundary(t *testing.T) {
+	a := train(t)
+	cfg := func(budget uint64) CanaryConfig {
+		return CanaryConfig{
+			Loop:           control.LoopConfig{Tier: control.TierDataPlane, Program: badProgram()},
+			MaxBenignDrops: budget,
+			Window:         25,
+		}
+	}
+	// Measure the scenario's total benign harm with an effectively
+	// unlimited budget.
+	probe, err := RunCanary(benignOnly(a, 231), cfg(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	harm := probe.Final.BenignDropped
+	if harm < 2 {
+		t.Fatalf("scenario produced %d benign drops; boundary test needs at least 2", harm)
+	}
+
+	// Budget exactly equal to the harm: the check is strictly-greater, so
+	// the canary survives the full stream.
+	atBudget, err := RunCanary(benignOnly(a, 231), cfg(harm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atBudget.RolledBack {
+		t.Errorf("rolled back with harm == budget (%d): budget must be an allowance, not a trip-wire", harm)
+	}
+
+	// One below: must roll back, and the reported harm must exceed the
+	// budget (the watchdog only fires after the budget is crossed).
+	overBudget, err := RunCanary(benignOnly(a, 231), cfg(harm-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !overBudget.RolledBack {
+		t.Fatalf("did not roll back with budget %d and eventual harm %d", harm-1, harm)
+	}
+	if overBudget.BenignDropsAtRollback <= harm-1 {
+		t.Errorf("rollback recorded harm %d not exceeding budget %d", overBudget.BenignDropsAtRollback, harm-1)
+	}
+	if overBudget.PacketsUntilRollback == 0 {
+		t.Error("rollback recorded zero packets processed")
+	}
+}
+
+// TestCanaryZeroBenignTraffic runs a canary against pure attack traffic:
+// with no benign packets to harm, even a zero budget and a drop-everything
+// model must never trigger rollback.
+func TestCanaryZeroBenignTraffic(t *testing.T) {
+	a := train(t)
+	attackOnly := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: a.plan, Victim: a.plan.Host(8),
+		Start: 0, Duration: 2 * time.Second, Rate: 500, Seed: 241,
+	})
+	res, err := RunCanary(attackOnly, CanaryConfig{
+		Loop:           control.LoopConfig{Tier: control.TierDataPlane, Program: badProgram()},
+		MaxBenignDrops: 0,
+		Window:         10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RolledBack {
+		t.Fatal("canary rolled back with zero benign traffic in the stream")
+	}
+	if res.Final.BenignDropped != 0 {
+		t.Errorf("BenignDropped = %d on attack-only traffic", res.Final.BenignDropped)
+	}
+	if res.Final.AttackDropped == 0 {
+		t.Error("drop-all-UDP canary dropped no attack packets")
+	}
+}
+
+// TestCanaryConcurrentDeploys races two canary runs sharing the same
+// compiled program — a rollback of one deploy must not perturb the other.
+// The assertions matter mostly under -race: RunCanary must not smuggle
+// mutable state through the shared *dataplane.Program.
+func TestCanaryConcurrentDeploys(t *testing.T) {
+	a := train(t)
+	prog := badProgram()
+	type outcome struct {
+		res *CanaryResult
+		err error
+	}
+	run := func(seed int64, budget uint64) outcome {
+		res, err := RunCanary(benignOnly(a, seed), CanaryConfig{
+			Loop:           control.LoopConfig{Tier: control.TierDataPlane, Program: prog},
+			MaxBenignDrops: budget,
+			Window:         25,
+		})
+		return outcome{res, err}
+	}
+	var wg sync.WaitGroup
+	var bad, good outcome
+	wg.Add(2)
+	go func() { defer wg.Done(); bad = run(251, 0) }()     // rolls back almost immediately
+	go func() { defer wg.Done(); good = run(252, 1<<40) }() // runs to completion
+	wg.Wait()
+	if bad.err != nil || good.err != nil {
+		t.Fatalf("errors: %v / %v", bad.err, good.err)
+	}
+	if !bad.res.RolledBack {
+		t.Error("zero-budget deploy was not rolled back")
+	}
+	if good.res.RolledBack {
+		t.Error("unlimited-budget deploy was rolled back by its neighbor's watchdog")
+	}
+	if good.res.Final.BenignDropped == 0 {
+		t.Error("surviving deploy recorded no drops — did it process traffic?")
+	}
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 verification gate.
+#
+# Runs the full static + test suite, then a focused race pass over the
+# packages with real concurrency (control-loop fallback chains, sharded
+# datastore, fault injectors). CI and pre-commit both call this script;
+# a clean exit is the merge bar.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (control, datastore, faults)"
+go test -race ./internal/control ./internal/datastore ./internal/faults
+
+echo "verify: OK"
