@@ -12,6 +12,7 @@ import (
 	"campuslab/internal/features"
 	"campuslab/internal/ml"
 	"campuslab/internal/packet"
+	"campuslab/internal/telemetry"
 	"campuslab/internal/traffic"
 )
 
@@ -125,6 +126,8 @@ type Loop struct {
 	pending   []pendingVerdict
 	mitigated map[netip.Addr]bool
 	featBuf   []float64
+	// verdictBuf holds FeedBatch's precomputed switch verdicts.
+	verdictBuf []dataplane.Verdict
 }
 
 type victimWindow struct {
@@ -223,6 +226,48 @@ func (l *Loop) BenignDroppedSoFar() uint64 { return l.stats.BenignDropped }
 // reports whether the packet survived (was not dropped).
 func (l *Loop) Feed(f *traffic.Frame, s *packet.Summary) bool {
 	l.drainPending(f.TS)
+	v := l.sw.ProcessAt(f.TS, s)
+	return l.consume(f, s, v)
+}
+
+// FeedBatch runs a batch of labeled frames (with pre-parsed summaries)
+// through the loop, filling keep[i] with whether frame i survived.
+// Semantically identical to calling Feed per frame in order; the win is
+// that the switch sense stage is precomputed for the whole batch from
+// one state snapshot. Because a mitigation installed while draining
+// pending verdicts must affect the packets behind it, the precompute is
+// abandoned the moment the switch state generation moves (or when
+// stateful meters make classification impure) and the remainder of the
+// batch falls back to the per-packet path.
+func (l *Loop) FeedBatch(frames []*traffic.Frame, sums []*packet.Summary, keep []bool) {
+	start := time.Now()
+	n := len(frames)
+	if cap(l.verdictBuf) < n {
+		l.verdictBuf = make([]dataplane.Verdict, n)
+	}
+	vs := l.verdictBuf[:n]
+	gen, pre := l.sw.ClassifyBatch(sums, vs)
+	for i := 0; i < n; i++ {
+		f, s := frames[i], sums[i]
+		l.drainPending(f.TS)
+		if pre && l.sw.StateGen() != gen {
+			pre = false
+		}
+		var v dataplane.Verdict
+		if pre {
+			v = vs[i]
+			l.sw.CommitVerdict(v)
+		} else {
+			v = l.sw.ProcessAt(f.TS, s)
+		}
+		keep[i] = l.consume(f, s, v)
+	}
+	telemetry.Pipeline.RecordStage("fastloop", time.Since(start))
+}
+
+// consume applies the loop logic — ground-truth accounting, data-plane
+// fault handling, escalation, drop bookkeeping — to one switch verdict.
+func (l *Loop) consume(f *traffic.Frame, s *packet.Summary, v dataplane.Verdict) bool {
 	l.stats.Packets++
 	isAttack := f.Label != traffic.LabelBenign
 	if isAttack {
@@ -230,8 +275,6 @@ func (l *Loop) Feed(f *traffic.Frame, s *packet.Summary) bool {
 	} else {
 		l.stats.BenignPackets++
 	}
-
-	v := l.sw.ProcessAt(f.TS, s)
 
 	// Data-plane-tier inference faults: an inline classification drop is
 	// the data plane's "Infer" verdict. When that verdict is lost (an
@@ -450,16 +493,38 @@ func (l *Loop) Finish() LoopStats {
 	return l.stats
 }
 
-// Replay drives a whole generator through the loop, parsing frames once.
+// ReplayBatch is how many parsed frames Replay accumulates before one
+// FeedBatch call — large enough to amortize the switch dispatch, small
+// enough to keep the working set in cache.
+const ReplayBatch = 256
+
+// Replay drives a whole generator through the loop, parsing frames once
+// and feeding them in batches of ReplayBatch.
 func (l *Loop) Replay(gen traffic.Generator) (LoopStats, error) {
 	fp := packet.NewFlowParser()
-	var f traffic.Frame
-	var s packet.Summary
-	for gen.Next(&f) {
-		if err := fp.Parse(f.Data, &s); err != nil {
+	var (
+		frames [ReplayBatch]traffic.Frame
+		sums   [ReplayBatch]packet.Summary
+		fptrs  [ReplayBatch]*traffic.Frame
+		sptrs  [ReplayBatch]*packet.Summary
+		keep   [ReplayBatch]bool
+	)
+	for i := range fptrs {
+		fptrs[i], sptrs[i] = &frames[i], &sums[i]
+	}
+	n := 0
+	for gen.Next(&frames[n]) {
+		if err := fp.Parse(frames[n].Data, &sums[n]); err != nil {
 			continue // non-IP or malformed: not the loop's problem
 		}
-		l.Feed(&f, &s)
+		n++
+		if n == ReplayBatch {
+			l.FeedBatch(fptrs[:n], sptrs[:n], keep[:n])
+			n = 0
+		}
+	}
+	if n > 0 {
+		l.FeedBatch(fptrs[:n], sptrs[:n], keep[:n])
 	}
 	return l.Finish(), nil
 }

@@ -1,0 +1,743 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"campuslab/internal/features"
+	"campuslab/internal/packet"
+)
+
+// --- generators -----------------------------------------------------------
+
+// randDisjointProgram builds a rule list by recursive domain partitioning —
+// the shape a distilled decision tree compiles to: disjoint conjunctions of
+// per-field intervals, with gaps falling through to the default action.
+func randDisjointProgram(rng *rand.Rand, maxRules int) *Program {
+	p := &Program{Name: "rand-disjoint", Default: ActionKind(rng.Intn(2))}
+	var root cellBounds
+	for f := Field(0); f < NumFields; f++ {
+		root.hi[f] = f.MaxValue()
+	}
+	var build func(c cellBounds, depth int)
+	build = func(c cellBounds, depth int) {
+		if len(p.Rules) >= maxRules {
+			return
+		}
+		if depth == 0 || rng.Intn(4) == 0 {
+			if rng.Intn(4) == 0 {
+				return // gap: the default decides this cell
+			}
+			var conds []RangeCond
+			for f := Field(0); f < NumFields; f++ {
+				if c.lo[f] != 0 || c.hi[f] != f.MaxValue() {
+					conds = append(conds, RangeCond{Field: f, Lo: c.lo[f], Hi: c.hi[f]})
+				}
+			}
+			if len(conds) == 0 {
+				return // a condless rule would shadow the whole space
+			}
+			p.Rules = append(p.Rules, Rule{
+				Conds: conds, Action: ActionKind(rng.Intn(4)),
+				Class: rng.Intn(3), Confidence: float64(rng.Intn(100)) / 100,
+			})
+			return
+		}
+		f := Field(rng.Intn(int(NumFields)))
+		if c.lo[f] >= c.hi[f] {
+			build(c, depth-1)
+			return
+		}
+		cut := c.lo[f] + 1 + uint32(rng.Int63n(int64(c.hi[f]-c.lo[f])))
+		left, right := c, c
+		left.hi[f] = cut - 1
+		right.lo[f] = cut
+		build(left, depth-1)
+		build(right, depth-1)
+	}
+	build(root, 6)
+	return p
+}
+
+// randOverlappingProgram builds rules with arbitrary (overlapping) interval
+// conjunctions. The DAG builder claims exactness under first-match-wins for
+// these too.
+func randOverlappingProgram(rng *rand.Rand) *Program {
+	p := &Program{Name: "rand-overlap", Default: ActionKind(rng.Intn(2))}
+	nRules := 1 + rng.Intn(6)
+	for i := 0; i < nRules; i++ {
+		var conds []RangeCond
+		nConds := 1 + rng.Intn(2)
+		for j := 0; j < nConds; j++ {
+			f := Field(rng.Intn(int(NumFields)))
+			max := int64(f.MaxValue())
+			lo := uint32(rng.Int63n(max + 1))
+			hi := lo + uint32(rng.Int63n(max-int64(lo)+1))
+			conds = append(conds, RangeCond{Field: f, Lo: lo, Hi: hi})
+		}
+		p.Rules = append(p.Rules, Rule{
+			Conds: conds, Action: ActionKind(rng.Intn(4)),
+			Class: rng.Intn(3), Confidence: float64(rng.Intn(100)) / 100,
+		})
+	}
+	return p
+}
+
+// randVector draws field values mostly inside the field widths, sometimes
+// far outside them (hand-built vectors are not width-clamped and the DAG
+// must agree with the scan reference there too).
+func randVector(rng *rand.Rand) FieldVector {
+	var fv FieldVector
+	for f := Field(0); f < NumFields; f++ {
+		if rng.Intn(6) == 0 {
+			fv.Set(f, rng.Uint32())
+		} else {
+			fv.Set(f, uint32(rng.Int63n(int64(f.MaxValue())+1)))
+		}
+	}
+	return fv
+}
+
+// scanVerdict is the independent linear-scan reference the DAG is checked
+// against.
+func scanVerdict(p *Program, fv *FieldVector) Verdict {
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Matches(fv) {
+			return Verdict{Action: r.Action, Class: r.Class, Confidence: r.Confidence, RuleIndex: i}
+		}
+	}
+	return Verdict{Action: p.Default, RuleIndex: -1}
+}
+
+func testAddrPool() []netip.Addr {
+	return []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"),
+		netip.MustParseAddr("10.0.1.7"),
+		netip.MustParseAddr("192.0.2.9"),
+		netip.MustParseAddr("198.51.100.3"),
+	}
+}
+
+func randTestSummary(rng *rand.Rand, pool []netip.Addr) packet.Summary {
+	var s packet.Summary
+	s.Tuple.SrcIP = pool[rng.Intn(len(pool))]
+	s.Tuple.DstIP = pool[rng.Intn(len(pool))]
+	s.Tuple.SrcPort = uint16(rng.Intn(1 << 16))
+	s.Tuple.DstPort = uint16(rng.Intn(1 << 16))
+	switch rng.Intn(3) {
+	case 0:
+		s.Tuple.Proto = packet.IPProtocolTCP
+		s.HasTCP = true
+		if rng.Intn(2) == 0 {
+			s.TCPFlags = packet.TCPSyn
+		}
+	case 1:
+		s.Tuple.Proto = packet.IPProtocolUDP
+		s.HasUDP = true
+		if rng.Intn(3) == 0 {
+			s.IsDNS = true
+			s.DNSResponse = rng.Intn(2) == 0
+			s.DNSAnswerCnt = rng.Intn(30)
+		}
+	}
+	s.WireLen = 60 + rng.Intn(1500)
+	s.TTL = uint8(rng.Intn(256))
+	return s
+}
+
+// randFilterKey draws a key in one of the five probe shapes so installed
+// entries are actually reachable by the verdict path.
+func randFilterKey(rng *rand.Rand, pool []netip.Addr) FilterKey {
+	var k FilterKey
+	switch rng.Intn(5) {
+	case 0: // full tuple
+		k = FilterKey{DstIP: pool[rng.Intn(len(pool))], SrcIP: pool[rng.Intn(len(pool))],
+			DstPort: uint16(1 + rng.Intn(1024)), Proto: packet.IPProtocolUDP}
+	case 1: // dst+port+proto
+		k = FilterKey{DstIP: pool[rng.Intn(len(pool))], DstPort: uint16(1 + rng.Intn(1024)), Proto: packet.IPProtocolUDP}
+	case 2: // dst+proto
+		k = FilterKey{DstIP: pool[rng.Intn(len(pool))], Proto: packet.IPProtocolTCP}
+	case 3: // dst only
+		k = FilterKey{DstIP: pool[rng.Intn(len(pool))]}
+	default: // src only
+		k = FilterKey{SrcIP: pool[rng.Intn(len(pool))]}
+	}
+	return k
+}
+
+// --- equivalence properties -----------------------------------------------
+
+func TestDAGScanEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 150; trial++ {
+		var p *Program
+		if trial%3 == 2 {
+			p = randOverlappingProgram(rng)
+		} else {
+			p = randDisjointProgram(rng, 1+rng.Intn(24))
+		}
+		dag := compileDAG(p)
+		if dag == nil {
+			t.Fatalf("trial %d: compile fell back (%d rules)", trial, len(p.Rules))
+		}
+		for i := 0; i < 400; i++ {
+			fv := randVector(rng)
+			got, want := dag.eval(&fv), scanVerdict(p, &fv)
+			if got != want {
+				t.Fatalf("trial %d (%s, %d rules): dag=%+v scan=%+v fv=%+v",
+					trial, p.Name, len(p.Rules), got, want, fv.vals)
+			}
+		}
+	}
+}
+
+func TestDAGScanEquivalenceDistilledTree(t *testing.T) {
+	tree, _, _ := trainPacketTree(t)
+	prog, err := Compile(tree, features.PacketSchema, CompileConfig{
+		DropClasses: []int{1}, MinConfidence: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Compiled() {
+		t.Fatal("distilled program did not compile")
+	}
+	dag := sw.state.Load().dag
+	rng := rand.New(rand.NewSource(402))
+	for i := 0; i < 5000; i++ {
+		fv := randVector(rng)
+		if got, want := dag.eval(&fv), scanVerdict(prog, &fv); got != want {
+			t.Fatalf("dag=%+v scan=%+v fv=%+v", got, want, fv.vals)
+		}
+	}
+}
+
+// TestSwitchPipelineEquivalence runs the same randomized program, filter
+// and meter installs, and packet sequence through a compiled switch and a
+// scan-only twin, demanding identical verdicts and counters end to end.
+func TestSwitchPipelineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	pool := testAddrPool()
+	for trial := 0; trial < 25; trial++ {
+		prog := randDisjointProgram(rng, 12)
+		swDag := NewSwitch(DefaultResources())
+		swScan := NewSwitch(DefaultResources())
+		swScan.SetScanOnly(true)
+		if err := swDag.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := swScan.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		if swDag.Compiled() == swScan.Compiled() {
+			t.Fatal("twins must run different rule paths")
+		}
+		for i := 0; i < 6; i++ {
+			k := randFilterKey(rng, pool)
+			if rng.Intn(2) == 0 {
+				act := ActionDrop
+				if rng.Intn(3) == 0 {
+					act = ActionAlert
+				}
+				if err := swDag.InstallFilter(k, act); err != nil {
+					t.Fatal(err)
+				}
+				if err := swScan.InstallFilter(k, act); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				rate, burst := float64(1000+rng.Intn(20000)), float64(500+rng.Intn(2000))
+				if err := swDag.InstallRateLimit(k, rate, burst); err != nil {
+					t.Fatal(err)
+				}
+				if err := swScan.InstallRateLimit(k, rate, burst); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ts := time.Duration(0)
+		for i := 0; i < 800; i++ {
+			ts += time.Duration(rng.Intn(2_000_000))
+			s := randTestSummary(rng, pool)
+			vd, vs := swDag.ProcessAt(ts, &s), swScan.ProcessAt(ts, &s)
+			if vd != vs {
+				t.Fatalf("trial %d pkt %d: dag=%+v scan=%+v", trial, i, vd, vs)
+			}
+		}
+		sd, ss := swDag.Stats(), swScan.Stats()
+		if sd.Processed != ss.Processed || sd.Permitted != ss.Permitted ||
+			sd.Dropped != ss.Dropped || sd.Alerted != ss.Alerted ||
+			sd.Punted != ss.Punted || sd.FilterHits != ss.FilterHits {
+			t.Fatalf("trial %d: stats diverged: dag=%+v scan=%+v", trial, sd, ss)
+		}
+		for i := range sd.PerRule {
+			if sd.PerRule[i] != ss.PerRule[i] {
+				t.Fatalf("trial %d: perRule[%d] %d != %d", trial, i, sd.PerRule[i], ss.PerRule[i])
+			}
+		}
+	}
+}
+
+// --- counter accounting ---------------------------------------------------
+
+// TestSwitchCounterAccounting checks every verdict lands in exactly one
+// action counter and exactly one attribution bucket.
+func TestSwitchCounterAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	pool := testAddrPool()
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(randDisjointProgram(rng, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.InstallFilter(FilterKey{DstIP: pool[0]}, ActionDrop); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.InstallRateLimit(FilterKey{DstIP: pool[1], Proto: packet.IPProtocolUDP}, 2000, 800); err != nil {
+		t.Fatal(err)
+	}
+
+	var byAction [4]uint64
+	var filterHits uint64
+	perRule := map[int]uint64{}
+	ts := time.Duration(0)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		ts += time.Duration(rng.Intn(1_500_000))
+		s := randTestSummary(rng, pool)
+		v := sw.ProcessAt(ts, &s)
+		byAction[v.Action]++
+		if v.FilterHit {
+			filterHits++
+		} else if v.RuleIndex >= 0 {
+			perRule[v.RuleIndex]++
+		}
+	}
+	st := sw.Stats()
+	if st.Processed != n {
+		t.Fatalf("processed %d != %d", st.Processed, n)
+	}
+	if got := st.Permitted + st.Dropped + st.Alerted + st.Punted; got != st.Processed {
+		t.Fatalf("action counters sum %d != processed %d (%+v)", got, st.Processed, st)
+	}
+	if st.Permitted != byAction[ActionPermit] || st.Dropped != byAction[ActionDrop] ||
+		st.Alerted != byAction[ActionAlert] || st.Punted != byAction[ActionPunt] {
+		t.Fatalf("per-action counts diverge from verdicts: stats=%+v verdicts=%v", st, byAction)
+	}
+	if st.FilterHits != filterHits {
+		t.Fatalf("filterHits %d != %d", st.FilterHits, filterHits)
+	}
+	var ruleSum uint64
+	for i, c := range st.PerRule {
+		ruleSum += c
+		if c != perRule[i] {
+			t.Fatalf("perRule[%d] = %d, verdicts saw %d", i, c, perRule[i])
+		}
+	}
+	if ruleSum+filterHits+byAction[ActionPermit] < st.Processed-st.Permitted {
+		t.Fatal("attribution lost verdicts")
+	}
+
+	sw.ResetCounters()
+	st = sw.Stats()
+	if st.Processed != 0 || st.Permitted != 0 || st.FilterHits != 0 {
+		t.Fatalf("reset left counters: %+v", st)
+	}
+	for i, c := range st.PerRule {
+		if c != 0 {
+			t.Fatalf("reset left perRule[%d]=%d", i, c)
+		}
+	}
+}
+
+// --- batch path -----------------------------------------------------------
+
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	pool := testAddrPool()
+	prog := randDisjointProgram(rng, 14)
+	swBatch := NewSwitch(DefaultResources())
+	swSeq := NewSwitch(DefaultResources())
+	for _, sw := range []*Switch{swBatch, swSeq} {
+		if err := sw.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.InstallFilter(FilterKey{DstIP: pool[2]}, ActionDrop); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.InstallRateLimit(FilterKey{SrcIP: pool[3]}, 4000, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums := make([]packet.Summary, 500)
+	tss := make([]time.Duration, len(sums))
+	ts := time.Duration(0)
+	for i := range sums {
+		ts += time.Duration(rng.Intn(1_000_000))
+		sums[i], tss[i] = randTestSummary(rng, pool), ts
+	}
+	got := swBatch.ProcessBatchAt(tss, sums, nil)
+	for i := range sums {
+		want := swSeq.ProcessAt(tss[i], &sums[i])
+		if got[i] != want {
+			t.Fatalf("pkt %d: batch=%+v seq=%+v", i, got[i], want)
+		}
+	}
+	if b, s := swBatch.Stats(), swSeq.Stats(); b.Processed != s.Processed || b.Dropped != s.Dropped ||
+		b.FilterHits != s.FilterHits || b.Permitted != s.Permitted {
+		t.Fatalf("stats diverged: batch=%+v seq=%+v", b, s)
+	}
+
+	// ProcessBatch (t=0 convenience form) agrees with Process.
+	v1 := swBatch.ProcessBatch(sums[:10])
+	for i := 0; i < 10; i++ {
+		if v2 := swSeq.Process(&sums[i]); v1[i] != v2 {
+			t.Fatalf("pkt %d: ProcessBatch=%+v Process=%+v", i, v1[i], v2)
+		}
+	}
+}
+
+// TestClassifyBatchCommit exercises the control loop's precompute/commit
+// split: classification is pure, commits tally, and installs invalidate.
+func TestClassifyBatchCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	pool := testAddrPool()
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(randDisjointProgram(rng, 10)); err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]*packet.Summary, 64)
+	for i := range sums {
+		s := randTestSummary(rng, pool)
+		sums[i] = &s
+	}
+	out := make([]Verdict, len(sums))
+	gen, ok := sw.ClassifyBatch(sums, out)
+	if !ok {
+		t.Fatal("classify refused with no meters installed")
+	}
+	if sw.Stats().Processed != 0 {
+		t.Fatal("classification recorded counters")
+	}
+	for i := range sums {
+		if sw.StateGen() != gen {
+			t.Fatal("generation moved without an install")
+		}
+		sw.CommitVerdict(out[i])
+	}
+	if got := sw.Stats().Processed; got != uint64(len(sums)) {
+		t.Fatalf("commits recorded %d, want %d", got, len(sums))
+	}
+
+	// An install bumps the generation, and meters force the fallback.
+	if err := sw.InstallFilter(FilterKey{DstIP: pool[0]}, ActionDrop); err != nil {
+		t.Fatal(err)
+	}
+	if sw.StateGen() == gen {
+		t.Fatal("install did not bump generation")
+	}
+	if err := sw.InstallRateLimit(FilterKey{DstIP: pool[1]}, 1000, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sw.ClassifyBatch(sums, out); ok {
+		t.Fatal("classify must refuse while meters are installed")
+	}
+}
+
+// --- immutability and knobs -----------------------------------------------
+
+func TestProgramViewImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	orig := randDisjointProgram(rng, 8)
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutating the caller's program after Load must not reach the switch.
+	origAction := orig.Rules[0].Action
+	orig.Rules[0].Action = ActionPunt
+	orig.Rules[0].Conds[0].Lo = 0xdeadbeef
+	view := sw.Program()
+	if view.Rules[0].Action != origAction {
+		t.Fatal("Load did not defensively copy the program")
+	}
+
+	// Mutating the returned view must not reach the switch either.
+	origDefault := view.Default
+	view.Rules[0].Action = ActionAlert
+	view.Rules[0].Conds[0].Hi = 0
+	view.Default = ActionPunt
+	again := sw.Program()
+	if again.Rules[0].Action != origAction || again.Default != origDefault {
+		t.Fatal("Program() handed out live state")
+	}
+	if &again.Rules[0] == &view.Rules[0] {
+		t.Fatal("Program() returned shared backing array")
+	}
+}
+
+func TestScanPathKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(408))
+	prog := randDisjointProgram(rng, 8)
+
+	t.Setenv(ScanPathEnv, "1")
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Compiled() {
+		t.Fatalf("%s must force the scan path", ScanPathEnv)
+	}
+	sw.SetScanOnly(false)
+	if !sw.Compiled() {
+		t.Fatal("SetScanOnly(false) did not recompile")
+	}
+	sw.SetScanOnly(true)
+	if sw.Compiled() {
+		t.Fatal("SetScanOnly(true) did not drop the DAG")
+	}
+}
+
+func TestDAGNodeBudgetFallback(t *testing.T) {
+	old := maxDAGNodes
+	maxDAGNodes = 2
+	defer func() { maxDAGNodes = old }()
+
+	rng := rand.New(rand.NewSource(409))
+	prog := randDisjointProgram(rng, 16)
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Compiled() {
+		t.Fatal("budget of 2 nodes should force scan fallback")
+	}
+	// The fallback still answers correctly.
+	for i := 0; i < 200; i++ {
+		fv := randVector(rng)
+		got := sw.state.Load().evalRules(&fv)
+		if want := scanVerdict(prog, &fv); got != want {
+			t.Fatalf("fallback verdict %+v != %+v", got, want)
+		}
+	}
+}
+
+// --- concurrency ----------------------------------------------------------
+
+// TestConcurrentInstallDuringBatch hammers the copy-on-write writers while
+// batches and classify/commit cycles run; correctness here is "the race
+// detector stays silent and counters stay coherent".
+func TestConcurrentInstallDuringBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(410))
+	pool := testAddrPool()
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(randDisjointProgram(rng, 12)); err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]packet.Summary, 256)
+	for i := range sums {
+		sums[i] = randTestSummary(rng, pool)
+	}
+	ptrs := make([]*packet.Summary, len(sums))
+	for i := range sums {
+		ptrs[i] = &sums[i]
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // filter churn
+		defer wg.Done()
+		r := rand.New(rand.NewSource(411))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := randFilterKey(r, pool)
+			if i%3 == 0 {
+				sw.RemoveFilter(k)
+			} else {
+				_ = sw.InstallFilter(k, ActionDrop)
+			}
+		}
+	}()
+	go func() { // meter churn + program reloads
+		defer wg.Done()
+		r := rand.New(rand.NewSource(412))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := randFilterKey(r, pool)
+			if i%4 == 0 {
+				_ = sw.Load(randDisjointProgram(r, 8))
+			} else if i%2 == 0 {
+				_ = sw.InstallRateLimit(k, 5000, 1000)
+			} else {
+				sw.RemoveFilter(k)
+			}
+		}
+	}()
+
+	out := make([]Verdict, len(sums))
+	var committed uint64
+	for iter := 0; iter < 60; iter++ {
+		_ = sw.ProcessBatchAt(nil, sums, out[:0])
+		committed += uint64(len(sums))
+		if gen, ok := sw.ClassifyBatch(ptrs, out); ok {
+			for i := range ptrs {
+				if sw.StateGen() != gen {
+					// Mid-batch publish: fall back like the control loop.
+					sw.ProcessAt(0, ptrs[i])
+				} else {
+					sw.CommitVerdict(out[i])
+				}
+				committed++
+			}
+		} else {
+			for i := range ptrs {
+				sw.ProcessAt(0, ptrs[i])
+				committed++
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := sw.Stats()
+	if st.Processed != committed {
+		t.Fatalf("processed %d != committed %d", st.Processed, committed)
+	}
+	if st.Permitted+st.Dropped+st.Alerted+st.Punted != st.Processed {
+		t.Fatalf("action counters do not sum under concurrency: %+v", st)
+	}
+}
+
+// --- benchmarks -----------------------------------------------------------
+
+// synthProgram emits nRules disjoint attack-signature rules shaped like
+// the sibling leaves of one distilled subtree: shared broad guard conds
+// (the path through the upper tree, repeated verbatim in every leaf's
+// conjunction), a DNS-response trigger, and a narrow per-rule TTL band.
+// Benign-heavy traffic matches no rule, so the scan path re-evaluates
+// every guard of all nRules rules per packet; the DAG checks each guard
+// region once and binary-searches the band.
+func synthProgram(nRules int) *Program {
+	p := &Program{Name: "synth", Default: ActionPermit}
+	span := 256 / nRules
+	for i := 0; i < nRules; i++ {
+		act := ActionDrop
+		if i%3 == 0 {
+			act = ActionAlert
+		}
+		p.Rules = append(p.Rules, Rule{
+			Conds: []RangeCond{
+				{Field: FieldWireLen, Lo: 0, Hi: 16383},
+				{Field: FieldDstPort, Lo: 0, Hi: 61439},
+				{Field: FieldSrcPort, Lo: 0, Hi: 61439},
+				{Field: FieldSynNoAck, Lo: 0, Hi: 0},
+				{Field: FieldDNSResp, Lo: 1, Hi: 1},
+				{Field: FieldTTL, Lo: uint32(i * span), Hi: uint32((i+1)*span - 1)},
+			},
+			Action: act, Class: 1, Confidence: 0.95,
+		})
+	}
+	return p
+}
+
+func installBenchFilters(b *testing.B, sw *Switch, pool []netip.Addr) {
+	b.Helper()
+	for i, k := range []FilterKey{
+		{DstIP: pool[0], Proto: packet.IPProtocolUDP},
+		{DstIP: pool[1], Proto: packet.IPProtocolUDP},
+		{DstIP: pool[2]},
+		{SrcIP: pool[3]},
+	} {
+		var err error
+		if i%2 == 0 {
+			err = sw.InstallFilter(k, ActionDrop)
+		} else {
+			err = sw.InstallRateLimit(k, 1e9, 1e6)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwitchProcessPaths compares the linear-scan reference against
+// the compiled DAG across program sizes, with and without an installed
+// filter table in front.
+func BenchmarkSwitchProcessPaths(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pool := testAddrPool()
+	sums := make([]packet.Summary, 1024)
+	for i := range sums {
+		sums[i] = randTestSummary(rng, pool)
+	}
+	for _, rules := range []int{4, 16, 64} {
+		prog := synthProgram(rules)
+		for _, mode := range []string{"scan", "dag"} {
+			for _, withFilters := range []bool{false, true} {
+				name := fmt.Sprintf("%s/rules=%d/filters=%v", mode, rules, withFilters)
+				b.Run(name, func(b *testing.B) {
+					sw := NewSwitch(DefaultResources())
+					sw.SetScanOnly(mode == "scan")
+					if err := sw.Load(prog); err != nil {
+						b.Fatal(err)
+					}
+					if (mode == "dag") != sw.Compiled() {
+						b.Fatal("wrong rule path")
+					}
+					if withFilters {
+						installBenchFilters(b, sw, pool)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						sw.Process(&sums[i&1023])
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSwitchProcessBatch measures the batched entry point; ns/op is
+// per 256-packet batch.
+func BenchmarkSwitchProcessBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	pool := testAddrPool()
+	sums := make([]packet.Summary, 256)
+	for i := range sums {
+		sums[i] = randTestSummary(rng, pool)
+	}
+	for _, rules := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) {
+			sw := NewSwitch(DefaultResources())
+			if err := sw.Load(synthProgram(rules)); err != nil {
+				b.Fatal(err)
+			}
+			out := make([]Verdict, 0, len(sums))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = sw.ProcessBatchAt(nil, sums, out[:0])
+			}
+		})
+	}
+}

@@ -2,6 +2,8 @@ package dataplane
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -9,15 +11,21 @@ import (
 // single-rate two-color marker): traffic within rate+burst conforms,
 // excess is marked for drop. Mitigations can rate-limit a victim's inbound
 // UDP instead of blackholing it — less collateral than a hard drop.
+//
+// State lives in atomics so the lock-free verdict path can charge the
+// bucket without taking a lock. Conforms keeps its original sequential
+// contract (non-decreasing ts from one replay goroutine); concurrent
+// callers are race-safe but may interleave charges.
 type TokenBucket struct {
 	rateBps float64 // refill rate in bytes/second
 	burst   float64 // bucket depth in bytes
-	tokens  float64
-	last    time.Duration
-	started bool
 
-	conformed uint64
-	exceeded  uint64
+	tokens  atomic.Uint64 // Float64bits of the current token count
+	last    atomic.Int64  // last refill time (ns)
+	started atomic.Bool
+
+	conformed atomic.Uint64
+	exceeded  atomic.Uint64
 }
 
 // NewTokenBucket builds a meter passing rateBps bytes/second with the
@@ -26,32 +34,38 @@ func NewTokenBucket(rateBps, burst float64) (*TokenBucket, error) {
 	if rateBps <= 0 || burst <= 0 {
 		return nil, fmt.Errorf("dataplane: meter rate and burst must be positive (got %v, %v)", rateBps, burst)
 	}
-	return &TokenBucket{rateBps: rateBps, burst: burst, tokens: burst}, nil
+	tb := &TokenBucket{rateBps: rateBps, burst: burst}
+	tb.tokens.Store(math.Float64bits(burst))
+	return tb, nil
 }
 
 // Conforms charges size bytes at time ts, reporting whether the packet is
 // within profile. Calls must have non-decreasing ts.
 func (tb *TokenBucket) Conforms(ts time.Duration, size int) bool {
-	if !tb.started {
-		tb.last, tb.started = ts, true
+	if !tb.started.Load() {
+		tb.last.Store(int64(ts))
+		tb.started.Store(true)
 	}
-	if ts > tb.last {
-		tb.tokens += (ts - tb.last).Seconds() * tb.rateBps
-		if tb.tokens > tb.burst {
-			tb.tokens = tb.burst
+	last := time.Duration(tb.last.Load())
+	tokens := math.Float64frombits(tb.tokens.Load())
+	if ts > last {
+		tokens += (ts - last).Seconds() * tb.rateBps
+		if tokens > tb.burst {
+			tokens = tb.burst
 		}
-		tb.last = ts
+		tb.last.Store(int64(ts))
 	}
-	if float64(size) <= tb.tokens {
-		tb.tokens -= float64(size)
-		tb.conformed++
+	if float64(size) <= tokens {
+		tb.tokens.Store(math.Float64bits(tokens - float64(size)))
+		tb.conformed.Add(1)
 		return true
 	}
-	tb.exceeded++
+	tb.tokens.Store(math.Float64bits(tokens))
+	tb.exceeded.Add(1)
 	return false
 }
 
 // Stats returns conforming and exceeding packet counts.
 func (tb *TokenBucket) Stats() (conformed, exceeded uint64) {
-	return tb.conformed, tb.exceeded
+	return tb.conformed.Load(), tb.exceeded.Load()
 }

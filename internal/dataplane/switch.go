@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"campuslab/internal/faults"
@@ -15,6 +17,11 @@ import (
 // table budget is exhausted — a permanent condition until entries are
 // removed; retrying without freeing space cannot succeed.
 var ErrTableFull = errors.New("dataplane: filter table full")
+
+// ScanPathEnv, when set to a non-empty value, forces every switch created
+// afterwards onto the linear-scan reference path (no DAG compilation) —
+// the escape hatch for bisecting a suspected fast-path divergence.
+const ScanPathEnv = "CAMPUSLAB_SCAN_PATH"
 
 // FieldVector is the per-packet header view the pipeline matches on.
 type FieldVector struct {
@@ -80,65 +87,282 @@ type FilterKey struct {
 	Proto   packet.IPProtocol // 0 = wildcard
 }
 
-// Switch is the software programmable switch: a loaded classification
-// program plus a runtime exact-match filter table the control plane
-// installs mitigations into. Safe for concurrent use.
-type Switch struct {
-	mu      sync.RWMutex
-	prog    *Program
-	res     Resources
-	faults  faults.Injector // nil = healthy
-	filters map[FilterKey]ActionKind
-	meters  map[FilterKey]*TokenBucket
+// Probe-form bitmask: ProcessAt probes up to five key shapes, most to
+// least specific. An installed entry is only reachable through forms
+// whose omitted fields are zero in the entry, so the state precomputes
+// which forms can possibly hit and the verdict path skips the rest.
+const (
+	shapeFull        uint8 = 1 << iota // {DstIP, SrcIP, DstPort, Proto}
+	shapeDstPortProt                   // {DstIP, DstPort, Proto}
+	shapeDstProt                       // {DstIP, Proto}
+	shapeDst                           // {DstIP}
+	shapeSrc                           // {SrcIP}
+)
 
-	// counters
-	processed  uint64
-	dropped    uint64
-	alerted    uint64
-	punted     uint64
-	filterHits uint64
-	perRule    []uint64
+// probeShapes returns the forms that could ever look up key k. Form 0
+// copies every tuple field from the packet, so it can reach any entry;
+// the narrower forms leave fields at their zero value and thus only
+// reach entries whose corresponding fields are zero too.
+func probeShapes(k FilterKey) uint8 {
+	m := shapeFull
+	zSrc := k.SrcIP == netip.Addr{}
+	if zSrc {
+		m |= shapeDstPortProt
+		if k.DstPort == 0 {
+			m |= shapeDstProt
+			if k.Proto == 0 {
+				m |= shapeDst
+			}
+		}
+	}
+	if (k.DstIP == netip.Addr{}) && k.DstPort == 0 && k.Proto == 0 {
+		m |= shapeSrc
+	}
+	return m
 }
 
-// NewSwitch creates a switch with the given resource budget.
-func NewSwitch(res Resources) *Switch {
-	return &Switch{
-		res:     res,
-		filters: make(map[FilterKey]ActionKind),
-		meters:  make(map[FilterKey]*TokenBucket),
+// filterEntry is one slot of the combined filter+meter table. A key may
+// carry both (a filter installed over an existing meter); the filter
+// wins, matching the historical probe order.
+type filterEntry struct {
+	act      ActionKind
+	isFilter bool
+	meter    *TokenBucket
+}
+
+// pipelineState is the switch's entire read-mostly state as one immutable
+// value published RCU-style: the verdict path loads it once per packet
+// (or per batch) with a single atomic pointer read and never takes a
+// lock. Writers (Load/Install/Remove) copy, modify, and swap under a
+// writer mutex.
+type pipelineState struct {
+	prog *Program         // defensively copied at Load; nil = no program
+	dag  *compiledProgram // compiled fast path; nil = linear-scan reference
+	// perRule carries the per-rule match counters (atomic access). The
+	// slice is shared across filter-table swaps so counts survive
+	// mitigation installs, and replaced on Load.
+	perRule []uint64
+
+	table    map[FilterKey]filterEntry
+	nFilters int
+	nMeters  int
+	shapes   uint8
+}
+
+// evalRules classifies fv against the loaded program (filters already
+// missed). Pure: no counters, no mutation.
+func (st *pipelineState) evalRules(fv *FieldVector) Verdict {
+	if st.dag != nil {
+		return st.dag.eval(fv)
 	}
+	if st.prog != nil {
+		for i := range st.prog.Rules {
+			r := &st.prog.Rules[i]
+			if r.Matches(fv) {
+				return Verdict{
+					Action: r.Action, Class: r.Class,
+					Confidence: r.Confidence, RuleIndex: i,
+				}
+			}
+		}
+		return Verdict{Action: st.prog.Default, RuleIndex: -1}
+	}
+	return Verdict{Action: ActionPermit, RuleIndex: -1}
+}
+
+// lookup probes one filter key, charging the meter on a meter hit.
+func (st *pipelineState) lookup(ts time.Duration, k FilterKey, wireLen int) (Verdict, bool) {
+	e, ok := st.table[k]
+	if !ok {
+		return Verdict{}, false
+	}
+	if e.isFilter {
+		return Verdict{Action: e.act, RuleIndex: -1, FilterHit: true}, true
+	}
+	if e.meter.Conforms(ts, wireLen) {
+		return Verdict{Action: ActionPermit, RuleIndex: -1, FilterHit: true}, true
+	}
+	return Verdict{Action: ActionDrop, RuleIndex: -1, FilterHit: true}, true
+}
+
+// eval runs the full pipeline: runtime filters first (mitigations beat
+// classification), then meters, then the program. Meters aside, eval is
+// pure; counters are recorded separately by the caller.
+func (st *pipelineState) eval(ts time.Duration, s *packet.Summary, fv *FieldVector) Verdict {
+	if st.shapes != 0 {
+		t := &s.Tuple
+		if st.shapes&shapeFull != 0 {
+			if v, ok := st.lookup(ts, FilterKey{DstIP: t.DstIP, SrcIP: t.SrcIP, DstPort: t.DstPort, Proto: t.Proto}, s.WireLen); ok {
+				return v
+			}
+		}
+		if st.shapes&shapeDstPortProt != 0 {
+			if v, ok := st.lookup(ts, FilterKey{DstIP: t.DstIP, DstPort: t.DstPort, Proto: t.Proto}, s.WireLen); ok {
+				return v
+			}
+		}
+		if st.shapes&shapeDstProt != 0 {
+			if v, ok := st.lookup(ts, FilterKey{DstIP: t.DstIP, Proto: t.Proto}, s.WireLen); ok {
+				return v
+			}
+		}
+		if st.shapes&shapeDst != 0 {
+			if v, ok := st.lookup(ts, FilterKey{DstIP: t.DstIP}, s.WireLen); ok {
+				return v
+			}
+		}
+		if st.shapes&shapeSrc != 0 {
+			if v, ok := st.lookup(ts, FilterKey{SrcIP: t.SrcIP}, s.WireLen); ok {
+				return v
+			}
+		}
+	}
+	return st.evalRules(fv)
+}
+
+// Switch is the software programmable switch: a loaded classification
+// program plus a runtime exact-match filter table the control plane
+// installs mitigations into. The per-packet path is lock-free: all
+// read-mostly state lives in one immutable pipelineState behind an
+// atomic pointer and every counter is atomic. Safe for concurrent use;
+// installs are copy-on-write and O(table size).
+type Switch struct {
+	res   Resources
+	state atomic.Pointer[pipelineState]
+	gen   atomic.Uint64 // bumped on every state publish
+
+	// writeMu serializes state writers (Load, installs, removes) and
+	// guards the fault injector and scan-path knob.
+	writeMu  sync.Mutex
+	faults   faults.Injector // nil = healthy
+	scanOnly bool
+
+	// counters — the verdict path touches only these atomics (plus the
+	// state's perRule slots). Processed is derived: the action counters
+	// partition it.
+	permitted  atomic.Uint64
+	dropped    atomic.Uint64
+	alerted    atomic.Uint64
+	punted     atomic.Uint64
+	filterHits atomic.Uint64
+}
+
+// NewSwitch creates a switch with the given resource budget. Setting the
+// CAMPUSLAB_SCAN_PATH environment variable forces the linear-scan
+// reference path (see also SetScanOnly).
+func NewSwitch(res Resources) *Switch {
+	sw := &Switch{res: res, scanOnly: os.Getenv(ScanPathEnv) != ""}
+	sw.state.Store(&pipelineState{table: map[FilterKey]filterEntry{}})
+	return sw
+}
+
+// publish swaps in the next state and bumps the generation. Callers hold
+// writeMu.
+func (sw *Switch) publish(st *pipelineState) {
+	sw.state.Store(st)
+	sw.gen.Add(1)
+}
+
+// mutate builds the successor state from a copy of the current one
+// (shared program/DAG/counters, fresh table map) and publishes it.
+// Callers hold writeMu.
+func (sw *Switch) mutate(edit func(next *pipelineState)) {
+	cur := sw.state.Load()
+	next := *cur
+	next.table = make(map[FilterKey]filterEntry, len(cur.table)+1)
+	for k, e := range cur.table {
+		next.table[k] = e
+	}
+	edit(&next)
+	next.shapes = 0
+	for k := range next.table {
+		next.shapes |= probeShapes(k)
+	}
+	sw.publish(&next)
 }
 
 // Load installs the classification program after a resource fit check.
+// The program is copied and compiled to a decision DAG (unless the scan
+// path is forced); the caller keeps ownership of prog.
 func (sw *Switch) Load(prog *Program) error {
 	if rep := sw.res.Fit(prog); !rep.Fits {
 		return fmt.Errorf("dataplane: program %q does not fit: %s", prog.Name, rep.Reason)
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	sw.prog = prog
-	sw.perRule = make([]uint64, len(prog.Rules))
+	own := cloneProgram(prog)
+	var dag *compiledProgram
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	if !sw.scanOnly {
+		dag = compileDAG(own)
+	}
+	sw.mutate(func(next *pipelineState) {
+		next.prog = own
+		next.dag = dag
+		next.perRule = make([]uint64, len(own.Rules))
+	})
 	return nil
 }
 
-// Program returns the loaded program (nil if none).
-func (sw *Switch) Program() *Program {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	return sw.prog
+// cloneProgram deep-copies a program so neither the loader nor Program()
+// callers can mutate the rules the verdict path is executing.
+func cloneProgram(p *Program) *Program {
+	if p == nil {
+		return nil
+	}
+	cp := &Program{Name: p.Name, Default: p.Default, Rules: make([]Rule, len(p.Rules))}
+	copy(cp.Rules, p.Rules)
+	for i := range cp.Rules {
+		cp.Rules[i].Conds = append([]RangeCond(nil), cp.Rules[i].Conds...)
+	}
+	return cp
 }
+
+// Program returns a copy of the loaded program (nil if none). Mutating
+// the returned value never affects the running pipeline.
+func (sw *Switch) Program() *Program {
+	return cloneProgram(sw.state.Load().prog)
+}
+
+// Compiled reports whether the active program runs on the compiled DAG
+// fast path (false: linear-scan reference, by knob or compile fallback).
+func (sw *Switch) Compiled() bool {
+	return sw.state.Load().dag != nil
+}
+
+// SetScanOnly forces (or releases) the linear-scan reference path,
+// recompiling the currently loaded program accordingly — the knob the
+// equivalence tests and a suspicious operator flip.
+func (sw *Switch) SetScanOnly(scan bool) {
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	sw.scanOnly = scan
+	cur := sw.state.Load()
+	if cur.prog == nil || (cur.dag == nil) == scan {
+		return
+	}
+	var dag *compiledProgram
+	if !scan {
+		dag = compileDAG(cur.prog)
+	}
+	sw.mutate(func(next *pipelineState) { next.dag = dag })
+}
+
+// StateGen returns the state generation, bumped on every Load, install
+// or remove. Batch consumers use it to detect mid-batch table changes.
+func (sw *Switch) StateGen() uint64 { return sw.gen.Load() }
 
 // SetFaultInjector points the switch's install path at a fault injector
 // (nil restores always-healthy). Real switches lose rule installs — the
 // control channel drops a message, the table manager is busy — and this is
 // where road tests make that happen on demand.
 func (sw *Switch) SetFaultInjector(inj faults.Injector) {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
 	sw.faults = inj
 }
 
-// failInstall consults the injector for one install attempt.
+// failInstall consults the injector for one install attempt. Callers hold
+// writeMu.
 func (sw *Switch) failInstall() error {
 	if sw.faults == nil {
 		return nil
@@ -154,15 +378,24 @@ func (sw *Switch) failInstall() error {
 // faults.IsTransient/IsPermanent, table exhaustion is ErrTableFull
 // (permanent — retrying cannot succeed until entries are removed).
 func (sw *Switch) InstallFilter(key FilterKey, action ActionKind) error {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
 	if err := sw.failInstall(); err != nil {
 		return err
 	}
-	if _, exists := sw.filters[key]; !exists && len(sw.filters) >= sw.res.ExactEntries {
+	cur := sw.state.Load()
+	exists := cur.table[key].isFilter
+	if !exists && cur.nFilters >= sw.res.ExactEntries {
 		return fmt.Errorf("%w (%d entries)", ErrTableFull, sw.res.ExactEntries)
 	}
-	sw.filters[key] = action
+	sw.mutate(func(next *pipelineState) {
+		e := next.table[key]
+		e.act, e.isFilter = action, true
+		next.table[key] = e
+		if !exists {
+			next.nFilters++
+		}
+	})
 	return nil
 }
 
@@ -174,35 +407,53 @@ func (sw *Switch) InstallRateLimit(key FilterKey, rateBps, burst float64) error 
 	if err != nil {
 		return err
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
 	if err := sw.failInstall(); err != nil {
 		return err
 	}
-	if _, exists := sw.meters[key]; !exists && len(sw.filters)+len(sw.meters) >= sw.res.ExactEntries {
+	cur := sw.state.Load()
+	exists := cur.table[key].meter != nil
+	if !exists && cur.nFilters+cur.nMeters >= sw.res.ExactEntries {
 		return fmt.Errorf("%w (%d entries)", ErrTableFull, sw.res.ExactEntries)
 	}
-	sw.meters[key] = tb
+	sw.mutate(func(next *pipelineState) {
+		e := next.table[key]
+		e.meter = tb
+		next.table[key] = e
+		if !exists {
+			next.nMeters++
+		}
+	})
 	return nil
 }
 
 // RemoveFilter deletes a filter or meter entry, reporting whether it
 // existed.
 func (sw *Switch) RemoveFilter(key FilterKey) bool {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	_, ok := sw.filters[key]
-	_, mok := sw.meters[key]
-	delete(sw.filters, key)
-	delete(sw.meters, key)
-	return ok || mok
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	cur := sw.state.Load()
+	e, ok := cur.table[key]
+	if !ok {
+		return false
+	}
+	sw.mutate(func(next *pipelineState) {
+		delete(next.table, key)
+		if e.isFilter {
+			next.nFilters--
+		}
+		if e.meter != nil {
+			next.nMeters--
+		}
+	})
+	return true
 }
 
 // FilterCount returns the number of installed filters and meters.
 func (sw *Switch) FilterCount() int {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	return len(sw.filters) + len(sw.meters)
+	st := sw.state.Load()
+	return st.nFilters + st.nMeters
 }
 
 // Process runs one packet through the pipeline with no timestamp (meters
@@ -211,73 +462,128 @@ func (sw *Switch) Process(s *packet.Summary) Verdict { return sw.ProcessAt(0, s)
 
 // ProcessAt runs one packet summary through the pipeline at time ts:
 // runtime filters first (mitigations beat classification), then meters,
-// then the program rules, then the default action.
+// then the program rules, then the default action. Lock-free and
+// allocation-free: one atomic state load plus atomic counter updates.
 func (sw *Switch) ProcessAt(ts time.Duration, s *packet.Summary) Verdict {
+	st := sw.state.Load()
 	var fv FieldVector
 	fv.FromSummary(s)
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	sw.processed++
-
-	// Exact-match filter lookups: most- to least-specific. Also probes
-	// the source-only form so scan mitigations can block an offender.
-	if len(sw.filters) > 0 || len(sw.meters) > 0 {
-		keys := [5]FilterKey{
-			{DstIP: s.Tuple.DstIP, SrcIP: s.Tuple.SrcIP, DstPort: s.Tuple.DstPort, Proto: s.Tuple.Proto},
-			{DstIP: s.Tuple.DstIP, DstPort: s.Tuple.DstPort, Proto: s.Tuple.Proto},
-			{DstIP: s.Tuple.DstIP, Proto: s.Tuple.Proto},
-			{DstIP: s.Tuple.DstIP},
-			{SrcIP: s.Tuple.SrcIP},
-		}
-		for _, k := range keys {
-			if act, ok := sw.filters[k]; ok {
-				sw.filterHits++
-				sw.tally(act)
-				return Verdict{Action: act, RuleIndex: -1, FilterHit: true}
-			}
-			if tb, ok := sw.meters[k]; ok {
-				sw.filterHits++
-				if tb.Conforms(ts, s.WireLen) {
-					return Verdict{Action: ActionPermit, RuleIndex: -1, FilterHit: true}
-				}
-				sw.tally(ActionDrop)
-				return Verdict{Action: ActionDrop, RuleIndex: -1, FilterHit: true}
-			}
-		}
-	}
-
-	if sw.prog != nil {
-		for i := range sw.prog.Rules {
-			r := &sw.prog.Rules[i]
-			if r.Matches(&fv) {
-				sw.perRule[i]++
-				sw.tally(r.Action)
-				return Verdict{
-					Action: r.Action, Class: r.Class,
-					Confidence: r.Confidence, RuleIndex: i,
-				}
-			}
-		}
-		sw.tally(sw.prog.Default)
-		return Verdict{Action: sw.prog.Default, RuleIndex: -1}
-	}
-	return Verdict{Action: ActionPermit, RuleIndex: -1}
+	v := st.eval(ts, s, &fv)
+	sw.record(st, v)
+	return v
 }
 
-func (sw *Switch) tally(a ActionKind) {
-	switch a {
+// ProcessBatch runs a batch through the pipeline with no timestamps,
+// returning newly allocated verdicts. The whole batch is served from one
+// state snapshot, amortizing the per-packet dispatch.
+func (sw *Switch) ProcessBatch(sums []packet.Summary) []Verdict {
+	return sw.ProcessBatchAt(nil, sums, make([]Verdict, 0, len(sums)))
+}
+
+// ProcessBatchAt runs a batch at per-packet timestamps (ts may be nil for
+// t=0), appending verdicts to out (pass out[:0] to reuse a buffer).
+// Counters are recorded per packet; the state is loaded once for the
+// whole batch, so a concurrent install becomes visible at the next batch.
+func (sw *Switch) ProcessBatchAt(ts []time.Duration, sums []packet.Summary, out []Verdict) []Verdict {
+	st := sw.state.Load()
+	var fv FieldVector
+	// Action tallies accumulate locally and flush as one atomic add per
+	// counter per batch; only the per-rule/filter attribution stays
+	// per-packet.
+	var acts [4]uint64
+	var filterHits uint64
+	for i := range sums {
+		var t time.Duration
+		if ts != nil {
+			t = ts[i]
+		}
+		fv.FromSummary(&sums[i])
+		v := st.eval(t, &sums[i], &fv)
+		a := v.Action
+		if a > ActionPunt {
+			a = ActionPermit
+		}
+		acts[a]++
+		if v.FilterHit {
+			filterHits++
+		} else if v.RuleIndex >= 0 && v.RuleIndex < len(st.perRule) {
+			atomic.AddUint64(&st.perRule[v.RuleIndex], 1)
+		}
+		out = append(out, v)
+	}
+	if acts[ActionPermit] != 0 {
+		sw.permitted.Add(acts[ActionPermit])
+	}
+	if acts[ActionDrop] != 0 {
+		sw.dropped.Add(acts[ActionDrop])
+	}
+	if acts[ActionAlert] != 0 {
+		sw.alerted.Add(acts[ActionAlert])
+	}
+	if acts[ActionPunt] != 0 {
+		sw.punted.Add(acts[ActionPunt])
+	}
+	if filterHits != 0 {
+		sw.filterHits.Add(filterHits)
+	}
+	return out
+}
+
+// ClassifyBatch precomputes verdicts for a batch without recording
+// counters or charging meters, filling out[i] per summary. It returns
+// the state generation the verdicts were computed under and whether the
+// precompute is valid — false when meters are installed, because then
+// classification has side effects and callers must fall back to
+// ProcessAt. The control loop uses this to batch the sense stage and
+// commit verdicts one by one as it consumes them (re-evaluating from the
+// first packet after a mid-batch install, detected via StateGen).
+func (sw *Switch) ClassifyBatch(sums []*packet.Summary, out []Verdict) (uint64, bool) {
+	st := sw.state.Load()
+	gen := sw.gen.Load()
+	if st.nMeters > 0 || sw.state.Load() != st {
+		return gen, false
+	}
+	var fv FieldVector
+	for i, s := range sums {
+		fv.FromSummary(s)
+		out[i] = st.eval(0, s, &fv)
+	}
+	return gen, true
+}
+
+// CommitVerdict records a verdict previously computed by ClassifyBatch
+// into the switch counters. Callers must have checked StateGen still
+// matches the ClassifyBatch generation.
+func (sw *Switch) CommitVerdict(v Verdict) {
+	sw.record(sw.state.Load(), v)
+}
+
+// record tallies one verdict: exactly one action counter plus the
+// filter-hit or per-rule attribution. The processed total is not a
+// separate counter — it is the sum of the four action counters, which
+// makes the "every verdict counted exactly once" invariant structural.
+func (sw *Switch) record(st *pipelineState, v Verdict) {
+	switch v.Action {
 	case ActionDrop:
-		sw.dropped++
+		sw.dropped.Add(1)
 	case ActionAlert:
-		sw.alerted++
+		sw.alerted.Add(1)
 	case ActionPunt:
-		sw.punted++
+		sw.punted.Add(1)
+	default:
+		sw.permitted.Add(1)
+	}
+	if v.FilterHit {
+		sw.filterHits.Add(1)
+	} else if v.RuleIndex >= 0 && v.RuleIndex < len(st.perRule) {
+		atomic.AddUint64(&st.perRule[v.RuleIndex], 1)
 	}
 }
 
 // SwitchStats is the switch's counter snapshot.
 type SwitchStats struct {
 	Processed  uint64
+	Permitted  uint64
 	Dropped    uint64
 	Alerted    uint64
 	Punted     uint64
@@ -285,24 +591,38 @@ type SwitchStats struct {
 	PerRule    []uint64
 }
 
-// Stats returns a snapshot of all counters.
+// Stats returns a snapshot of all counters. Every verdict is counted in
+// exactly one of Permitted/Dropped/Alerted/Punted, so those always sum
+// to Processed.
 func (sw *Switch) Stats() SwitchStats {
-	sw.mu.RLock()
-	defer sw.mu.RUnlock()
-	return SwitchStats{
-		Processed:  sw.processed,
-		Dropped:    sw.dropped,
-		Alerted:    sw.alerted,
-		Punted:     sw.punted,
-		FilterHits: sw.filterHits,
-		PerRule:    append([]uint64(nil), sw.perRule...),
+	st := sw.state.Load()
+	per := make([]uint64, len(st.perRule))
+	for i := range st.perRule {
+		per[i] = atomic.LoadUint64(&st.perRule[i])
 	}
+	s := SwitchStats{
+		Permitted:  sw.permitted.Load(),
+		Dropped:    sw.dropped.Load(),
+		Alerted:    sw.alerted.Load(),
+		Punted:     sw.punted.Load(),
+		FilterHits: sw.filterHits.Load(),
+		PerRule:    per,
+	}
+	s.Processed = s.Permitted + s.Dropped + s.Alerted + s.Punted
+	return s
 }
 
 // ResetCounters zeroes all counters (not the tables).
 func (sw *Switch) ResetCounters() {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	sw.processed, sw.dropped, sw.alerted, sw.punted, sw.filterHits = 0, 0, 0, 0, 0
-	clear(sw.perRule)
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	sw.permitted.Store(0)
+	sw.dropped.Store(0)
+	sw.alerted.Store(0)
+	sw.punted.Store(0)
+	sw.filterHits.Store(0)
+	st := sw.state.Load()
+	for i := range st.perRule {
+		atomic.StoreUint64(&st.perRule[i], 0)
+	}
 }

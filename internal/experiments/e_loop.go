@@ -265,10 +265,9 @@ func E12Compile() (*Table, error) {
 		summaries := sampleSummaries(fx, 2000)
 		start = time.Now()
 		const lookupReps = 50
+		verdicts := make([]dataplane.Verdict, 0, len(summaries))
 		for r := 0; r < lookupReps; r++ {
-			for i := range summaries {
-				sw.Process(&summaries[i])
-			}
+			verdicts = sw.ProcessBatchAt(nil, summaries, verdicts[:0])
 		}
 		lookup := time.Since(start) / time.Duration(lookupReps*len(summaries))
 		t.AddRow(fmt.Sprintf("%d", depth),

@@ -15,6 +15,12 @@ type TapFunc func(ts time.Duration, f *traffic.Frame)
 // it (the deployed mitigation path). The summary is pre-parsed.
 type BorderFunc func(ts time.Duration, f *traffic.Frame, s *packet.Summary) bool
 
+// BorderBatchFunc inspects a batch of frames arriving at the border in
+// event order, filling keep[i] with whether frame i survives. Deployed
+// control loops prefer this over BorderFunc: consecutive border arrivals
+// are popped together so the loop's sense stage runs once per batch.
+type BorderBatchFunc func(ts []time.Duration, frames []*traffic.Frame, sums []*packet.Summary, keep []bool)
+
 // Delivery reports one frame reaching its destination.
 type Delivery struct {
 	Frame   traffic.Frame
@@ -58,15 +64,28 @@ type Network struct {
 	topo   *Topology
 	events eventHeap
 	// linkFree[l] is when link l's transmitter is next idle.
-	linkFree  []time.Duration
-	taps      map[LinkID][]TapFunc
-	border    BorderFunc
-	onDeliver func(Delivery)
-	stats     SimStats
-	parser    *packet.FlowParser
-	now       time.Duration
-	seq       uint64 // event tie-break counter
+	linkFree    []time.Duration
+	taps        map[LinkID][]TapFunc
+	border      BorderFunc
+	borderBatch BorderBatchFunc
+	onDeliver   func(Delivery)
+	stats       SimStats
+	parser      *packet.FlowParser
+	now         time.Duration
+	seq         uint64 // event tie-break counter
+
+	// Reusable border-batch buffers (see stepBatch).
+	evBuf   []*event
+	inspBuf []int32
+	tsBuf   []time.Duration
+	frmBuf  []*traffic.Frame
+	sumBuf  []packet.Summary
+	sumPtrs []*packet.Summary
+	keepBuf []bool
 }
+
+// borderBatchCap bounds one batched border inspection.
+const borderBatchCap = 256
 
 // NewNetwork wraps a topology for simulation.
 func NewNetwork(t *Topology) *Network {
@@ -87,6 +106,21 @@ func (n *Network) AddTap(l LinkID, fn TapFunc) { n.taps[l] = append(n.taps[l], f
 
 // SetBorderFunc installs the border inspection hook.
 func (n *Network) SetBorderFunc(fn BorderFunc) { n.border = fn }
+
+// SetBorderBatchFunc installs the batched border inspection hook. When
+// both hooks are set the per-frame BorderFunc wins.
+func (n *Network) SetBorderBatchFunc(fn BorderBatchFunc) {
+	n.borderBatch = fn
+	if fn != nil && n.evBuf == nil {
+		n.evBuf = make([]*event, 0, borderBatchCap)
+		n.inspBuf = make([]int32, 0, borderBatchCap)
+		n.tsBuf = make([]time.Duration, borderBatchCap)
+		n.frmBuf = make([]*traffic.Frame, borderBatchCap)
+		n.sumBuf = make([]packet.Summary, borderBatchCap)
+		n.sumPtrs = make([]*packet.Summary, borderBatchCap)
+		n.keepBuf = make([]bool, borderBatchCap)
+	}
+}
 
 // OnDeliver registers the delivery callback.
 func (n *Network) OnDeliver(fn func(Delivery)) { n.onDeliver = fn }
@@ -141,7 +175,7 @@ func (n *Network) Inject(f *traffic.Frame) {
 // Call after injecting the full scenario (or interleave Inject/Step).
 func (n *Network) Run() SimStats {
 	for n.events.Len() > 0 {
-		n.step()
+		n.stepBatch(1 << 62)
 	}
 	return n.stats
 }
@@ -149,21 +183,90 @@ func (n *Network) Run() SimStats {
 // Now returns the simulation clock (time of the last processed event).
 func (n *Network) Now() time.Duration { return n.now }
 
+// batchable reports whether batched border inspection preserves event
+// semantics: it reorders a border frame's continuation (link transmit,
+// taps, delivery) after later border inspections in the same batch, which
+// is only invisible when no taps or delivery callbacks observe the
+// interleaving. Border-outgoing link state is untouched by non-border
+// events, so the continuations themselves stay in order.
+func (n *Network) batchable() bool {
+	return n.borderBatch != nil && n.border == nil && len(n.taps) == 0 && n.onDeliver == nil
+}
+
+// stepBatch processes the next event; when the heap's front is a run of
+// border arrivals earlier than bound (and batching is semantics
+// preserving), the whole run is inspected with one BorderBatchFunc call
+// before the survivors continue in order.
+func (n *Network) stepBatch(bound time.Duration) {
+	if !n.batchable() || n.topo.Nodes[n.events[0].node].Kind != KindBorder {
+		n.step()
+		return
+	}
+	evs, insp := n.evBuf[:0], n.inspBuf[:0]
+	k := 0
+	for len(evs) < borderBatchCap && n.events.Len() > 0 {
+		top := n.events[0]
+		if top.at >= bound || n.topo.Nodes[top.node].Kind != KindBorder {
+			break
+		}
+		ev := heap.Pop(&n.events).(*event)
+		evs = append(evs, ev)
+		if err := n.parser.Parse(ev.frame.Data, &n.sumBuf[k]); err == nil {
+			n.tsBuf[k], n.frmBuf[k], n.sumPtrs[k] = ev.at, &ev.frame, &n.sumBuf[k]
+			n.keepBuf[k] = true
+			insp = append(insp, int32(k))
+			k++
+		} else {
+			insp = append(insp, -1) // unparseable: continues uninspected
+		}
+	}
+	if k > 0 {
+		n.borderBatch(n.tsBuf[:k], n.frmBuf[:k], n.sumPtrs[:k], n.keepBuf[:k])
+	}
+	for i, ev := range evs {
+		n.now = ev.at
+		if j := insp[i]; j >= 0 && !n.keepBuf[j] {
+			n.stats.BorderDrops++
+			continue
+		}
+		n.continueFrame(ev)
+	}
+	n.evBuf, n.inspBuf = evs[:0], insp[:0]
+}
+
 func (n *Network) step() {
 	ev := heap.Pop(&n.events).(*event)
 	n.now = ev.at
 
 	// Border inspection on arrival at the border node.
-	if n.topo.Nodes[ev.node].Kind == KindBorder && n.border != nil {
-		var s packet.Summary
-		if err := n.parser.Parse(ev.frame.Data, &s); err == nil {
-			if !n.border(ev.at, &ev.frame, &s) {
-				n.stats.BorderDrops++
-				return
+	if n.topo.Nodes[ev.node].Kind == KindBorder {
+		if n.border != nil {
+			var s packet.Summary
+			if err := n.parser.Parse(ev.frame.Data, &s); err == nil {
+				if !n.border(ev.at, &ev.frame, &s) {
+					n.stats.BorderDrops++
+					return
+				}
+			}
+		} else if n.borderBatch != nil {
+			// Single-frame fallback (taps or delivery hooks present).
+			if err := n.parser.Parse(ev.frame.Data, &n.sumBuf[0]); err == nil {
+				n.tsBuf[0], n.frmBuf[0], n.sumPtrs[0] = ev.at, &ev.frame, &n.sumBuf[0]
+				n.keepBuf[0] = true
+				n.borderBatch(n.tsBuf[:1], n.frmBuf[:1], n.sumPtrs[:1], n.keepBuf[:1])
+				if !n.keepBuf[0] {
+					n.stats.BorderDrops++
+					return
+				}
 			}
 		}
 	}
+	n.continueFrame(ev)
+}
 
+// continueFrame advances a frame past inspection: delivery at the final
+// node, otherwise transmission onto its next link.
+func (n *Network) continueFrame(ev *event) {
 	if ev.hop >= len(ev.path) {
 		// Arrived at destination node.
 		n.stats.Delivered++
@@ -219,7 +322,7 @@ func (n *Network) Replay(gen traffic.Generator) SimStats {
 		// Process everything strictly earlier than the next injection to
 		// keep the event heap small.
 		for n.events.Len() > 0 && n.events[0].at < f.TS {
-			n.step()
+			n.stepBatch(f.TS)
 		}
 	}
 	return n.Run()

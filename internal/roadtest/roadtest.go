@@ -90,11 +90,16 @@ func Run(cfg Config) (*Report, error) {
 	net := netsim.NewNetwork(topo)
 
 	rep := &Report{AttackStart: -1}
-	net.SetBorderFunc(func(ts time.Duration, f *traffic.Frame, s *packet.Summary) bool {
-		if f.Label != traffic.LabelBenign && rep.AttackStart < 0 {
-			rep.AttackStart = ts
+	net.SetBorderBatchFunc(func(ts []time.Duration, frames []*traffic.Frame, sums []*packet.Summary, keep []bool) {
+		if rep.AttackStart < 0 {
+			for i, f := range frames {
+				if f.Label != traffic.LabelBenign {
+					rep.AttackStart = ts[i]
+					break
+				}
+			}
 		}
-		return loop.Feed(f, s)
+		loop.FeedBatch(frames, sums, keep)
 	})
 	rep.Network = net.Replay(cfg.Scenario)
 	rep.Loop = loop.Finish()

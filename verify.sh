@@ -21,4 +21,10 @@ go test ./...
 echo "==> go test -race (control, datastore, faults)"
 go test -race ./internal/control ./internal/datastore ./internal/faults
 
+echo "==> go test -race (dataplane fast path: concurrent install vs batch)"
+go test -race -run 'TestConcurrentInstallDuringBatch|TestSwitchPipelineEquivalence|TestProcessBatch|TestClassifyBatch' ./internal/dataplane
+
+echo "==> bench smoke (compiled fast path, must stay 0 allocs/op)"
+go test -run=NONE -bench=SwitchProcess -benchtime=100x ./internal/dataplane
+
 echo "verify: OK"
