@@ -20,8 +20,29 @@ import (
 	"campuslab/internal/core"
 	"campuslab/internal/datastore"
 	"campuslab/internal/experiments"
+	"campuslab/internal/obs"
 	"campuslab/internal/traffic"
 )
+
+// writeMetrics dumps the process metrics snapshot (Prometheus text
+// format) to path; "-" writes to stdout, "" is a no-op.
+func writeMetrics(path string) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return obs.Default.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -67,6 +88,7 @@ func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	md := fs.Bool("md", false, "render markdown instead of aligned text")
 	workers := fs.Int("workers", 0, "offline-loop worker count (0 = GOMAXPROCS, 1 = serial; identical tables either way)")
+	metricsOut := fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file after the run (- = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +119,7 @@ func cmdExperiment(args []string) error {
 		}
 		log.Printf("%s completed in %v", r.ID, time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return writeMetrics(*metricsOut)
 }
 
 func cmdQuery(args []string) error {
@@ -175,6 +197,7 @@ func cmdDevelop(args []string) error {
 	depth := fs.Int("depth", 4, "deployable tree depth")
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "offline-loop worker count (0 = GOMAXPROCS, 1 = serial; identical output either way)")
+	metricsOut := fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file after the run (- = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,5 +231,5 @@ func cmdDevelop(args []string) error {
 	for _, r := range dep.Rules {
 		fmt.Println("  " + r)
 	}
-	return nil
+	return writeMetrics(*metricsOut)
 }

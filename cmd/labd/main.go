@@ -6,6 +6,7 @@
 //	QUERY <expr>           filter-language query (first 10 matches)
 //	RULES                  the deployed model's operator rules
 //	LABELS                 ground-truth class counts
+//	METRICS                process metrics snapshot (Prometheus text)
 //	QUIT                   close the connection
 //
 // The daemon is hardened for unattended operation: concurrent connections
@@ -16,11 +17,16 @@
 // in-flight connections for a bounded grace period before forcing them
 // closed.
 //
-// Usage: labd -listen 127.0.0.1:7077 [-seed 3] [-max-conns 64] [-drain 10s]
+// With -http the daemon additionally serves an HTTP diagnostics
+// endpoint: /metrics (Prometheus text format), /debug/pprof/* and a
+// /debug/trace JSON dump of recent slow-loop spans.
+//
+// Usage: labd -listen 127.0.0.1:7077 [-seed 3] [-max-conns 64] [-drain 10s] [-http 127.0.0.1:7078]
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -33,8 +39,19 @@ import (
 	"syscall"
 	"time"
 
+	"campuslab/internal/control"
 	"campuslab/internal/core"
+	"campuslab/internal/obs"
 	"campuslab/internal/traffic"
+)
+
+// Daemon-level metrics. Per-command counters carry the command label and
+// are pre-registered per handler in newServer; unknown commands share one
+// unlabeled counter so hostile input cannot mint unbounded series.
+var (
+	obsConns       = obs.Default.Counter("campuslab_labd_connections_total")
+	obsBusyRejects = obs.Default.Counter("campuslab_labd_busy_rejects_total")
+	obsUnknownCmds = obs.Default.Counter("campuslab_labd_unknown_commands_total")
 )
 
 func main() {
@@ -45,6 +62,7 @@ func main() {
 		seed     = flag.Int64("seed", 3, "scenario seed")
 		maxConns = flag.Int("max-conns", 64, "max concurrent client connections (0 = unlimited)")
 		drain    = flag.Duration("drain", 10*time.Second, "grace period for in-flight connections on shutdown")
+		httpAddr = flag.String("http", "", "HTTP diagnostics listen address (/metrics, /debug/pprof, /debug/trace); empty = disabled")
 	)
 	flag.Parse()
 
@@ -64,6 +82,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		registerStoreGauges(srv.lab)
+		log.Printf("http diagnostics on http://%s/metrics", hln.Addr())
+		go serveHTTP(ctx, hln)
+	}
 	serve(ctx, ln, srv, *drain)
 }
 
@@ -120,6 +147,8 @@ type server struct {
 	idle time.Duration
 	// sem caps concurrent connections (nil = unlimited).
 	sem chan struct{}
+	// cmdCounters are the pre-registered per-command metrics.
+	cmdCounters map[string]*obs.Counter
 
 	wg    sync.WaitGroup
 	mu    sync.Mutex
@@ -144,6 +173,26 @@ func newServer(seed int64) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Road-test the deployment on a short held-out replay before serving.
+	// Besides a sanity shake-down, this populates the operational series
+	// (dataplane verdicts, control-loop escalations/mitigations) so the
+	// first METRICS scrape shows the deployed model working.
+	loop, err := control.NewLoop(control.LoopConfig{
+		Tier: control.TierControlPlane, Program: dep.AlertProgram,
+		Model: dep.Extraction.Tree, Threshold: 0.9,
+		Window: time.Second, MinEvidence: 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	heldB := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 60, Duration: 2 * time.Second, Seed: seed + 3})
+	heldA := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(6),
+		Start: 300 * time.Millisecond, Duration: 1500 * time.Millisecond, Rate: 800, Seed: seed + 4,
+	})
+	if _, err := loop.Replay(traffic.NewMerge(heldB, heldA)); err != nil {
+		return nil, err
+	}
 	s := &server{
 		lab:   lab,
 		dep:   dep,
@@ -151,10 +200,15 @@ func newServer(seed int64) (*server, error) {
 		conns: make(map[net.Conn]struct{}),
 	}
 	s.handlers = map[string]handler{
-		"STATS":  (*server).cmdStats,
-		"QUERY":  (*server).cmdQuery,
-		"RULES":  (*server).cmdRules,
-		"LABELS": (*server).cmdLabels,
+		"STATS":   (*server).cmdStats,
+		"QUERY":   (*server).cmdQuery,
+		"RULES":   (*server).cmdRules,
+		"LABELS":  (*server).cmdLabels,
+		"METRICS": (*server).cmdMetrics,
+	}
+	s.cmdCounters = make(map[string]*obs.Counter, len(s.handlers))
+	for name := range s.handlers {
+		s.cmdCounters[name] = obs.Default.Counter("campuslab_labd_commands_total", "cmd", name)
 	}
 	return s, nil
 }
@@ -189,16 +243,18 @@ func (s *server) handle(conn net.Conn) {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			obsBusyRejects.Inc()
 			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 			fmt.Fprintln(conn, "ERR busy: connection limit reached")
 			return
 		}
 	}
 	defer s.track(conn)()
+	obsConns.Inc()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
-	fmt.Fprintln(w, "campuslab labd ready; commands: STATS QUERY RULES LABELS QUIT")
+	fmt.Fprintln(w, "campuslab labd ready; commands: STATS QUERY RULES LABELS METRICS QUIT")
 	w.Flush()
 	for {
 		// Refresh the deadline per command, not per connection: a client
@@ -232,9 +288,13 @@ func (s *server) dispatch(w *bufio.Writer, cmd, rest string) {
 	}()
 	switch h, ok := s.handlers[cmd]; {
 	case ok:
+		if c := s.cmdCounters[cmd]; c != nil {
+			c.Inc()
+		}
 		h(s, w, rest)
 	case cmd == "":
 	default:
+		obsUnknownCmds.Inc()
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
 }
@@ -267,6 +327,18 @@ func (s *server) cmdRules(w *bufio.Writer, _ string) {
 	for _, r := range s.dep.Rules {
 		fmt.Fprintln(w, r)
 	}
+}
+
+// cmdMetrics renders the process metrics snapshot: an "OK <n>" header
+// (n = following lines) then the Prometheus text exposition.
+func (s *server) cmdMetrics(w *bufio.Writer, _ string) {
+	var buf bytes.Buffer
+	if err := obs.Default.WriteText(&buf); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %d\n", bytes.Count(buf.Bytes(), []byte("\n")))
+	w.Write(buf.Bytes())
 }
 
 func (s *server) cmdLabels(w *bufio.Writer, _ string) {

@@ -19,8 +19,9 @@ var (
 )
 
 // sharedServer builds the one shared labd server (training the model is
-// expensive) and its listener.
-func sharedServer(t *testing.T) *server {
+// expensive) and its listener. It takes testing.TB so fuzz targets can
+// reuse the same instance.
+func sharedServer(t testing.TB) *server {
 	t.Helper()
 	testSrvOnce.Do(func() {
 		srv, err := newServer(3)
@@ -401,4 +402,102 @@ func TestLabdDrainForceCloseStragglers(t *testing.T) {
 	if _, err := s.r.ReadString('\n'); err == nil {
 		t.Error("straggler connection still open after forced drain")
 	}
+}
+
+func TestLabdMetricsCommand(t *testing.T) {
+	s := newSession(t)
+	// Run a QUERY first so its command counter is provably visible in the
+	// snapshot that follows.
+	resp := s.send(t, "QUERY dns")
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("QUERY = %q", resp)
+	}
+	var qn int
+	if _, err := sscanInt(resp[3:], &qn); err != nil {
+		t.Fatalf("bad count in %q", resp)
+	}
+	s.readLines(t, qn)
+
+	resp = s.send(t, "METRICS")
+	if !strings.HasPrefix(resp, "OK ") {
+		t.Fatalf("METRICS = %q", resp)
+	}
+	var n int
+	if _, err := sscanInt(resp[3:], &n); err != nil || n == 0 {
+		t.Fatalf("metrics line count in %q", resp)
+	}
+	body := strings.Join(s.readLines(t, n), "\n")
+
+	// The snapshot must cover every layer: datastore ingest, dataplane
+	// verdicts, control-loop resilience, and the daemon's own counters.
+	for _, want := range []string{
+		"campuslab_store_ingest_packets_total",
+		"campuslab_store_ingest_batches_total",
+		`campuslab_dataplane_verdicts_total{action="permit"}`,
+		"campuslab_control_install_retries_total",
+		`campuslab_control_breaker_transitions_total{to="open"}`,
+		"campuslab_labd_connections_total",
+		"# TYPE campuslab_store_ingest_batch_size histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("METRICS snapshot missing %q", want)
+		}
+	}
+	// The QUERY we just ran must be counted.
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `campuslab_labd_commands_total{cmd="QUERY"} `) {
+			var v float64
+			if _, err := fmt.Sscan(line[strings.LastIndex(line, " ")+1:], &v); err != nil {
+				t.Fatalf("unparseable series %q", line)
+			}
+			if v < 1 {
+				t.Errorf("QUERY command counter = %v, want >= 1", v)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no campuslab_labd_commands_total{cmd=\"QUERY\"} series in snapshot")
+	}
+}
+
+func TestLabdMetricsShowDeployedTraffic(t *testing.T) {
+	// newServer road-tests the deployment before serving, so the very
+	// first scrape must already show packets flowing and verdicts issued.
+	sharedServer(t)
+	s := newSession(t)
+	resp := s.send(t, "METRICS")
+	var n int
+	if _, err := sscanInt(resp[3:], &n); err != nil {
+		t.Fatalf("METRICS = %q", resp)
+	}
+	body := strings.Join(s.readLines(t, n), "\n")
+	for _, series := range []string{
+		"campuslab_store_ingest_packets_total ",
+		`campuslab_dataplane_verdicts_total{action="permit"} `,
+		"campuslab_control_loops_total ",
+	} {
+		v, ok := seriesValue(body, series)
+		if !ok {
+			t.Errorf("series %q absent", series)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("series %q = %v, want > 0 after warmup replay", series, v)
+		}
+	}
+}
+
+// seriesValue extracts the value of the first line starting with prefix.
+func seriesValue(body, prefix string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			var v float64
+			if _, err := fmt.Sscan(line[strings.LastIndex(line, " ")+1:], &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }

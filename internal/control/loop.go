@@ -11,8 +11,8 @@ import (
 	"campuslab/internal/faults"
 	"campuslab/internal/features"
 	"campuslab/internal/ml"
+	"campuslab/internal/obs"
 	"campuslab/internal/packet"
-	"campuslab/internal/telemetry"
 	"campuslab/internal/traffic"
 )
 
@@ -119,6 +119,10 @@ type Loop struct {
 	retry  RetryPolicy
 	jitter *rand.Rand
 	stats  LoopStats
+	// ctr is the loop's operational counter block — the source of truth
+	// for the resilience counters; stats' mirror fields are views filled
+	// at Finish.
+	ctr *loopCounters
 
 	// per-victim evidence accumulation
 	windows map[netip.Addr]*victimWindow
@@ -179,6 +183,7 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	}
 	defaults := DefaultTierModels()
 	brk := cfg.Breaker.withDefaults()
+	ctr := newLoopCounters()
 	newTier := func(t Tier, model ml.Classifier, override *TierModel) *tierRuntime {
 		tm := defaults[t]
 		if override != nil {
@@ -188,7 +193,7 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 			tier:    t,
 			model:   model,
 			engine:  NewInferenceEngine(tm),
-			breaker: breaker{cfg: brk},
+			breaker: breaker{cfg: brk, ctr: ctr},
 			opName:  faults.OpInfer(t.String()),
 		}
 	}
@@ -208,6 +213,7 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 		sw:        sw,
 		tiers:     tiers,
 		retry:     retry,
+		ctr:       ctr,
 		jitter:    rand.New(rand.NewSource(retry.Seed)),
 		windows:   make(map[netip.Addr]*victimWindow),
 		mitigated: make(map[netip.Addr]bool),
@@ -240,7 +246,7 @@ func (l *Loop) Feed(f *traffic.Frame, s *packet.Summary) bool {
 // stateful meters make classification impure) and the remainder of the
 // batch falls back to the per-packet path.
 func (l *Loop) FeedBatch(frames []*traffic.Frame, sums []*packet.Summary, keep []bool) {
-	start := time.Now()
+	defer obs.Default.StartSpan("fastloop")()
 	n := len(frames)
 	if cap(l.verdictBuf) < n {
 		l.verdictBuf = make([]dataplane.Verdict, n)
@@ -262,7 +268,6 @@ func (l *Loop) FeedBatch(frames []*traffic.Frame, sums []*packet.Summary, keep [
 		}
 		keep[i] = l.consume(f, s, v)
 	}
-	telemetry.Pipeline.RecordStage("fastloop", time.Since(start))
 }
 
 // consume applies the loop logic — ground-truth accounting, data-plane
@@ -290,7 +295,7 @@ func (l *Loop) consume(f *traffic.Frame, s *packet.Summary, v dataplane.Verdict)
 		} else if l.cfg.Faults != nil {
 			if err := l.cfg.Faults.Fail(dp.opName); err != nil {
 				dp.breaker.failure(f.TS)
-				l.stats.InferFailures++
+				l.ctr.inferFailures.Inc()
 				lost = true
 			} else {
 				dp.breaker.success()
@@ -351,22 +356,22 @@ func (l *Loop) inferTier(now time.Duration) *tierRuntime {
 // verdict never arrives — a timeout in a real deployment) and feed that
 // tier's breaker.
 func (l *Loop) escalate(ts time.Duration, s *packet.Summary) {
-	l.stats.Escalations++
+	l.ctr.escalations.Inc()
 	tr := l.inferTier(ts)
 	if tr == nil {
-		l.stats.InferFailures++
+		l.ctr.inferFailures.Inc()
 		return // every tier down: the verdict is lost
 	}
 	if l.cfg.Faults != nil {
 		if err := l.cfg.Faults.Fail(tr.opName); err != nil {
 			tr.breaker.failure(ts)
-			l.stats.InferFailures++
+			l.ctr.inferFailures.Inc()
 			return
 		}
 		tr.breaker.success()
 	}
 	if tr != l.tiers[0] {
-		l.stats.FallbackInferences++
+		l.ctr.fallbackInferences.Inc()
 	}
 	readyAt := tr.engine.Submit(ts)
 	features.PacketVector(s, l.featBuf)
@@ -427,6 +432,7 @@ func (l *Loop) applyVerdict(pv pendingVerdict) {
 		return // mitigation impossible right now: keep accumulating
 	}
 	l.mitigated[pv.victim] = true
+	l.ctr.mitigations.Inc()
 	l.stats.Mitigations = append(l.stats.Mitigations, Mitigation{
 		Victim:      pv.victim,
 		DecidedAt:   pv.readyAt,
@@ -455,14 +461,14 @@ func (l *Loop) installMitigation(victim netip.Addr, installAt time.Duration) (ti
 			return installAt, true
 		}
 		if !faults.IsTransient(err) {
-			l.stats.InstallFailures++
+			l.ctr.installFailures.Inc()
 			return 0, false
 		}
 		if attempt >= l.retry.MaxAttempts {
-			l.stats.DroppedMitigations++
+			l.ctr.droppedMitigations.Inc()
 			return 0, false
 		}
-		l.stats.InstallRetries++
+		l.ctr.installRetries.Inc()
 		installAt += backoff + time.Duration(l.jitter.Int63n(int64(backoff)/2+1))
 		backoff *= 2
 		if backoff > l.retry.Max {
@@ -471,7 +477,9 @@ func (l *Loop) installMitigation(victim netip.Addr, installAt time.Duration) (ti
 	}
 }
 
-// Finish flushes in-flight verdicts and returns final statistics.
+// Finish flushes in-flight verdicts and returns final statistics. The
+// resilience fields of LoopStats are views over the loop's registry
+// counter block, filled here.
 func (l *Loop) Finish() LoopStats {
 	l.drainPending(1 << 62)
 	var requests, trips uint64
@@ -485,7 +493,18 @@ func (l *Loop) Finish() LoopStats {
 		}
 		trips += tr.breaker.trips
 	}
-	l.stats.BreakerTrips = trips
+	l.stats.Escalations = l.ctr.escalations.Value()
+	l.stats.InstallRetries = l.ctr.installRetries.Value()
+	l.stats.DroppedMitigations = l.ctr.droppedMitigations.Value()
+	l.stats.InstallFailures = l.ctr.installFailures.Value()
+	l.stats.InferFailures = l.ctr.inferFailures.Value()
+	l.stats.FallbackInferences = l.ctr.fallbackInferences.Value()
+	l.stats.BreakerTrips = l.ctr.breakerOpens.Value()
+	if trips != l.stats.BreakerTrips {
+		// Structural audit: per-breaker trip counts and the loop block
+		// must agree; disagreement means an uninstrumented trip site.
+		panic("control: breaker trip accounting diverged")
+	}
 	if requests > 0 {
 		l.stats.InferMean = total / time.Duration(requests)
 		l.stats.InferMax = max

@@ -1,0 +1,79 @@
+package control
+
+import (
+	"sync"
+
+	"campuslab/internal/obs"
+)
+
+// loopCounters is a control loop's operational counter block — the one
+// source of truth for the loop's resilience accounting. Event sites
+// (install retries, breaker transitions, tier fallbacks, escalations)
+// write these atomics; LoopStats' resilience fields are filled from the
+// block at Finish, and the process-wide registry aggregates every block
+// at snapshot time via the collector below. Blocks are padded counters
+// (~64B each) pinned for the life of the process; a loop is created per
+// deployment or replay, so the pinned footprint stays tiny.
+type loopCounters struct {
+	escalations        obs.Counter
+	mitigations        obs.Counter
+	installRetries     obs.Counter
+	droppedMitigations obs.Counter
+	installFailures    obs.Counter
+	inferFailures      obs.Counter
+	fallbackInferences obs.Counter
+	breakerOpens       obs.Counter
+	breakerHalfOpens   obs.Counter
+	breakerCloses      obs.Counter
+}
+
+var (
+	loopBlocksMu sync.Mutex
+	loopBlocks   []*loopCounters
+)
+
+// newLoopCounters allocates a block and pins it for aggregation.
+func newLoopCounters() *loopCounters {
+	c := &loopCounters{}
+	loopBlocksMu.Lock()
+	loopBlocks = append(loopBlocks, c)
+	loopBlocksMu.Unlock()
+	return c
+}
+
+func init() {
+	obs.Default.RegisterCollector(collectLoops)
+}
+
+// collectLoops sums every loop's counter block into the process-wide
+// control series. Sums are computed first so each series is emitted
+// exactly once (and exists, zero-valued, before any loop sees traffic).
+func collectLoops(e *obs.Emitter) {
+	loopBlocksMu.Lock()
+	var esc, mit, retr, drop, instFail, inferFail, fb, opens, halfs, closes uint64
+	n := uint64(len(loopBlocks))
+	for _, c := range loopBlocks {
+		esc += c.escalations.Value()
+		mit += c.mitigations.Value()
+		retr += c.installRetries.Value()
+		drop += c.droppedMitigations.Value()
+		instFail += c.installFailures.Value()
+		inferFail += c.inferFailures.Value()
+		fb += c.fallbackInferences.Value()
+		opens += c.breakerOpens.Value()
+		halfs += c.breakerHalfOpens.Value()
+		closes += c.breakerCloses.Value()
+	}
+	loopBlocksMu.Unlock()
+	e.Counter("campuslab_control_loops_total", n)
+	e.Counter("campuslab_control_escalations_total", esc)
+	e.Counter("campuslab_control_mitigations_total", mit)
+	e.Counter("campuslab_control_install_retries_total", retr)
+	e.Counter("campuslab_control_dropped_mitigations_total", drop)
+	e.Counter("campuslab_control_install_failures_total", instFail)
+	e.Counter("campuslab_control_infer_failures_total", inferFail)
+	e.Counter("campuslab_control_fallback_inferences_total", fb)
+	e.Counter("campuslab_control_breaker_transitions_total", opens, "to", "open")
+	e.Counter("campuslab_control_breaker_transitions_total", halfs, "to", "half_open")
+	e.Counter("campuslab_control_breaker_transitions_total", closes, "to", "closed")
+}

@@ -80,13 +80,16 @@ type FallbackTier struct {
 }
 
 // breaker is one tier's circuit breaker, driven by the replay's virtual
-// clock — deterministic, no wall time.
+// clock — deterministic, no wall time. State transitions are mirrored
+// into the owning loop's counter block (ctr may be nil in unit tests).
 type breaker struct {
 	cfg         BreakerConfig
 	consecutive int
 	open        bool
+	halfOpen    bool
 	openUntil   time.Duration
 	trips       uint64
+	ctr         *loopCounters
 }
 
 // allow reports whether the tier may serve a request at virtual time now,
@@ -99,7 +102,11 @@ func (b *breaker) allow(now time.Duration) bool {
 		// Half-open: admit one probe; failure() re-opens immediately
 		// because consecutive resumes from Trip-1.
 		b.open = false
+		b.halfOpen = true
 		b.consecutive = b.cfg.Trip - 1
+		if b.ctr != nil {
+			b.ctr.breakerHalfOpens.Inc()
+		}
 		return true
 	}
 	return false
@@ -111,15 +118,27 @@ func (b *breaker) failure(now time.Duration) {
 	b.consecutive++
 	if b.consecutive >= b.cfg.Trip {
 		b.open = true
+		b.halfOpen = false
 		b.openUntil = now + b.cfg.Cooldown
 		b.trips++
 		b.consecutive = 0
+		if b.ctr != nil {
+			b.ctr.breakerOpens.Inc()
+		}
 	}
 }
 
 // success resets the consecutive-failure count (and closes a half-open
 // breaker for good).
-func (b *breaker) success() { b.consecutive = 0 }
+func (b *breaker) success() {
+	b.consecutive = 0
+	if b.halfOpen {
+		b.halfOpen = false
+		if b.ctr != nil {
+			b.ctr.breakerCloses.Inc()
+		}
+	}
+}
 
 // tierRuntime is one tier of the loop's inference chain: the primary at
 // index 0, fallbacks after it in degradation order.

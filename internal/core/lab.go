@@ -38,6 +38,10 @@ type Config struct {
 	// extraction, and (as the Develop default) forest training.
 	// 0 = GOMAXPROCS, 1 = serial; results are identical either way.
 	Workers int
+	// Shards fixes the data store's shard count (0 = auto-size from
+	// GOMAXPROCS). Query results are identical at any shard count; the
+	// knob exists for determinism tests and tuning.
+	Shards int
 }
 
 // Lab is a campus network operated as data source and testbed.
@@ -66,7 +70,7 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Lab{cfg: cfg, store: datastore.New(), enforcer: enf}, nil
+	return &Lab{cfg: cfg, store: datastore.NewSharded(cfg.Shards), enforcer: enf}, nil
 }
 
 // Name returns the campus name.

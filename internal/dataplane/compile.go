@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"campuslab/internal/ml"
+	"campuslab/internal/obs"
 )
 
 // CompileConfig controls tree-to-program compilation.
@@ -26,6 +27,7 @@ type CompileConfig struct {
 // becomes one rule whose per-field intervals are the intersection of the
 // path's threshold conditions.
 func Compile(tree *ml.Tree, schema []string, cfg CompileConfig) (*Program, error) {
+	defer obs.Default.StartSpan("compile")()
 	fields := make([]Field, len(schema))
 	for i, name := range schema {
 		f, err := FieldByName(name)

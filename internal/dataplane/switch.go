@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"campuslab/internal/faults"
+	"campuslab/internal/obs"
 	"campuslab/internal/packet"
 )
 
@@ -237,21 +238,19 @@ type Switch struct {
 	faults   faults.Injector // nil = healthy
 	scanOnly bool
 
-	// counters — the verdict path touches only these atomics (plus the
-	// state's perRule slots). Processed is derived: the action counters
-	// partition it.
-	permitted  atomic.Uint64
-	dropped    atomic.Uint64
-	alerted    atomic.Uint64
-	punted     atomic.Uint64
-	filterHits atomic.Uint64
+	// ctr holds the verdict counters — the only atomics the per-packet
+	// path touches besides the state pointer and perRule slots. The
+	// block lives behind a pointer so the obs registry can aggregate
+	// every switch's counters at snapshot time (see obs.go); Processed
+	// is derived: the action counters partition it.
+	ctr *switchCounters
 }
 
 // NewSwitch creates a switch with the given resource budget. Setting the
 // CAMPUSLAB_SCAN_PATH environment variable forces the linear-scan
 // reference path (see also SetScanOnly).
 func NewSwitch(res Resources) *Switch {
-	sw := &Switch{res: res, scanOnly: os.Getenv(ScanPathEnv) != ""}
+	sw := &Switch{res: res, scanOnly: os.Getenv(ScanPathEnv) != "", ctr: newSwitchCounters()}
 	sw.state.Store(&pipelineState{table: map[FilterKey]filterEntry{}})
 	return sw
 }
@@ -261,6 +260,7 @@ func NewSwitch(res Resources) *Switch {
 func (sw *Switch) publish(st *pipelineState) {
 	sw.state.Store(st)
 	sw.gen.Add(1)
+	obsStatePublishes.Inc()
 }
 
 // mutate builds the successor state from a copy of the current one
@@ -285,6 +285,7 @@ func (sw *Switch) mutate(edit func(next *pipelineState)) {
 // The program is copied and compiled to a decision DAG (unless the scan
 // path is forced); the caller keeps ownership of prog.
 func (sw *Switch) Load(prog *Program) error {
+	defer obs.Default.StartSpan("install")()
 	if rep := sw.res.Fit(prog); !rep.Fits {
 		return fmt.Errorf("dataplane: program %q does not fit: %s", prog.Name, rep.Reason)
 	}
@@ -300,6 +301,11 @@ func (sw *Switch) Load(prog *Program) error {
 		next.dag = dag
 		next.perRule = make([]uint64, len(own.Rules))
 	})
+	if dag != nil {
+		obsCompilesDag.Inc()
+	} else {
+		obsCompilesScan.Inc()
+	}
 	return nil
 }
 
@@ -381,11 +387,13 @@ func (sw *Switch) InstallFilter(key FilterKey, action ActionKind) error {
 	sw.writeMu.Lock()
 	defer sw.writeMu.Unlock()
 	if err := sw.failInstall(); err != nil {
+		obsInstallErr.Inc()
 		return err
 	}
 	cur := sw.state.Load()
 	exists := cur.table[key].isFilter
 	if !exists && cur.nFilters >= sw.res.ExactEntries {
+		obsInstallErr.Inc()
 		return fmt.Errorf("%w (%d entries)", ErrTableFull, sw.res.ExactEntries)
 	}
 	sw.mutate(func(next *pipelineState) {
@@ -396,6 +404,7 @@ func (sw *Switch) InstallFilter(key FilterKey, action ActionKind) error {
 			next.nFilters++
 		}
 	})
+	obsInstallOK.Inc()
 	return nil
 }
 
@@ -410,11 +419,13 @@ func (sw *Switch) InstallRateLimit(key FilterKey, rateBps, burst float64) error 
 	sw.writeMu.Lock()
 	defer sw.writeMu.Unlock()
 	if err := sw.failInstall(); err != nil {
+		obsMeterErr.Inc()
 		return err
 	}
 	cur := sw.state.Load()
 	exists := cur.table[key].meter != nil
 	if !exists && cur.nFilters+cur.nMeters >= sw.res.ExactEntries {
+		obsMeterErr.Inc()
 		return fmt.Errorf("%w (%d entries)", ErrTableFull, sw.res.ExactEntries)
 	}
 	sw.mutate(func(next *pipelineState) {
@@ -425,6 +436,7 @@ func (sw *Switch) InstallRateLimit(key FilterKey, rateBps, burst float64) error 
 			next.nMeters++
 		}
 	})
+	obsMeterOK.Inc()
 	return nil
 }
 
@@ -447,6 +459,7 @@ func (sw *Switch) RemoveFilter(key FilterKey) bool {
 			next.nMeters--
 		}
 	})
+	obsRemoves.Inc()
 	return true
 }
 
@@ -512,20 +525,21 @@ func (sw *Switch) ProcessBatchAt(ts []time.Duration, sums []packet.Summary, out 
 		out = append(out, v)
 	}
 	if acts[ActionPermit] != 0 {
-		sw.permitted.Add(acts[ActionPermit])
+		sw.ctr.permitted.Add(acts[ActionPermit])
 	}
 	if acts[ActionDrop] != 0 {
-		sw.dropped.Add(acts[ActionDrop])
+		sw.ctr.dropped.Add(acts[ActionDrop])
 	}
 	if acts[ActionAlert] != 0 {
-		sw.alerted.Add(acts[ActionAlert])
+		sw.ctr.alerted.Add(acts[ActionAlert])
 	}
 	if acts[ActionPunt] != 0 {
-		sw.punted.Add(acts[ActionPunt])
+		sw.ctr.punted.Add(acts[ActionPunt])
 	}
 	if filterHits != 0 {
-		sw.filterHits.Add(filterHits)
+		sw.ctr.filterHits.Add(filterHits)
 	}
+	countBatch(st, len(sums))
 	return out
 }
 
@@ -548,6 +562,7 @@ func (sw *Switch) ClassifyBatch(sums []*packet.Summary, out []Verdict) (uint64, 
 		fv.FromSummary(s)
 		out[i] = st.eval(0, s, &fv)
 	}
+	countBatch(st, len(sums))
 	return gen, true
 }
 
@@ -565,16 +580,16 @@ func (sw *Switch) CommitVerdict(v Verdict) {
 func (sw *Switch) record(st *pipelineState, v Verdict) {
 	switch v.Action {
 	case ActionDrop:
-		sw.dropped.Add(1)
+		sw.ctr.dropped.Add(1)
 	case ActionAlert:
-		sw.alerted.Add(1)
+		sw.ctr.alerted.Add(1)
 	case ActionPunt:
-		sw.punted.Add(1)
+		sw.ctr.punted.Add(1)
 	default:
-		sw.permitted.Add(1)
+		sw.ctr.permitted.Add(1)
 	}
 	if v.FilterHit {
-		sw.filterHits.Add(1)
+		sw.ctr.filterHits.Add(1)
 	} else if v.RuleIndex >= 0 && v.RuleIndex < len(st.perRule) {
 		atomic.AddUint64(&st.perRule[v.RuleIndex], 1)
 	}
@@ -601,11 +616,11 @@ func (sw *Switch) Stats() SwitchStats {
 		per[i] = atomic.LoadUint64(&st.perRule[i])
 	}
 	s := SwitchStats{
-		Permitted:  sw.permitted.Load(),
-		Dropped:    sw.dropped.Load(),
-		Alerted:    sw.alerted.Load(),
-		Punted:     sw.punted.Load(),
-		FilterHits: sw.filterHits.Load(),
+		Permitted:  sw.ctr.permitted.Load(),
+		Dropped:    sw.ctr.dropped.Load(),
+		Alerted:    sw.ctr.alerted.Load(),
+		Punted:     sw.ctr.punted.Load(),
+		FilterHits: sw.ctr.filterHits.Load(),
 		PerRule:    per,
 	}
 	s.Processed = s.Permitted + s.Dropped + s.Alerted + s.Punted
@@ -616,11 +631,11 @@ func (sw *Switch) Stats() SwitchStats {
 func (sw *Switch) ResetCounters() {
 	sw.writeMu.Lock()
 	defer sw.writeMu.Unlock()
-	sw.permitted.Store(0)
-	sw.dropped.Store(0)
-	sw.alerted.Store(0)
-	sw.punted.Store(0)
-	sw.filterHits.Store(0)
+	sw.ctr.permitted.Store(0)
+	sw.ctr.dropped.Store(0)
+	sw.ctr.alerted.Store(0)
+	sw.ctr.punted.Store(0)
+	sw.ctr.filterHits.Store(0)
 	st := sw.state.Load()
 	for i := range st.perRule {
 		atomic.StoreUint64(&st.perRule[i], 0)

@@ -173,4 +173,3 @@ func TestPacketIDsGloballyUniqueAcrossShards(t *testing.T) {
 		t.Fatal("no flow packet ids observed")
 	}
 }
-

@@ -22,9 +22,9 @@ import (
 	"campuslab/internal/capture"
 	"campuslab/internal/eventlog"
 	"campuslab/internal/faults"
+	"campuslab/internal/obs"
 	"campuslab/internal/packet"
 	"campuslab/internal/parallel"
-	"campuslab/internal/telemetry"
 	"campuslab/internal/traffic"
 )
 
@@ -84,13 +84,26 @@ type shard struct {
 	indexBytes uint64
 }
 
+// Store-level metrics, registered once in the process-wide registry.
+// These are batch- or event-granularity (never per-packet on a hot loop
+// except the serial ingest path, where one atomic add is noise next to
+// parsing), so plain registry counters are fine.
+var (
+	obsIngestBatches   = obs.Default.Counter("campuslab_store_ingest_batches_total")
+	obsIngestPackets   = obs.Default.Counter("campuslab_store_ingest_packets_total")
+	obsMergeReads      = obs.Default.Counter("campuslab_store_merge_reads_total")
+	obsShardContention = obs.Default.Counter(obs.ShardContentionName)
+	obsIngestBatchSize = obs.Default.Histogram("campuslab_store_ingest_batch_size",
+		[]float64{64, 256, 1024, 4096, 16384})
+)
+
 // lock acquires the shard write lock, counting contended acquisitions into
-// the pipeline telemetry so shard pressure is observable.
+// the registry so shard pressure is observable.
 func (sh *shard) lock() {
 	if sh.mu.TryLock() {
 		return
 	}
-	telemetry.Pipeline.AddShardContention(1)
+	obsShardContention.Inc()
 	sh.mu.Lock()
 }
 
@@ -279,6 +292,7 @@ func (s *Store) ingest(ts time.Duration, link uint16, data []byte, label traffic
 	sh.lock()
 	sh.apply(&it)
 	sh.mu.Unlock()
+	obsIngestPackets.Inc()
 	return it.id
 }
 
@@ -306,7 +320,10 @@ func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
 	if n == 0 {
 		return PacketID(s.nextID.Load())
 	}
-	start := time.Now()
+	defer obs.Default.StartSpan("ingest")()
+	obsIngestBatches.Inc()
+	obsIngestPackets.Add(uint64(n))
+	obsIngestBatchSize.Observe(float64(n))
 	items := make([]ingestItem, n)
 	parallel.ForChunks(n, workers, func(lo, hi int) {
 		p := parserPool.Get().(*packet.FlowParser)
@@ -353,7 +370,6 @@ func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
 		}
 		sh.mu.Unlock()
 	})
-	telemetry.Pipeline.RecordStage("ingest", time.Since(start))
 	return base
 }
 
@@ -450,6 +466,7 @@ func (s *Store) Flow(key FlowKey) (FlowMeta, bool) {
 // unlock function. Writers only ever hold one shard at a time, so the
 // fixed acquisition order cannot deadlock.
 func (s *Store) rlockAll() func() {
+	obsMergeReads.Inc()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 	}

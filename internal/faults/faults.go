@@ -19,6 +19,8 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+
+	"campuslab/internal/obs"
 )
 
 // Kind classifies an injected fault.
@@ -139,6 +141,12 @@ func (c *counters) record(op string, k Kind, injected bool) (seq uint64) {
 		} else {
 			st.Permanent++
 		}
+		// Every injector funnels injected faults through here, so this
+		// one registry write covers install, inference, and persistence
+		// faults process-wide. Fault events are rare by construction;
+		// the handle lookup is off any hot path.
+		obs.Default.Counter("campuslab_faults_injected_total",
+			"kind", k.String(), "op", op).Inc()
 	}
 	return st.Calls
 }

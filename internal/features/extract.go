@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"campuslab/internal/datastore"
+	"campuslab/internal/obs"
 	"campuslab/internal/packet"
 	"campuslab/internal/parallel"
 	"campuslab/internal/telemetry"
@@ -42,7 +43,7 @@ func FromFlows(st *datastore.Store, campus netip.Prefix) *Dataset {
 // identical — row for row — at any worker count; workers=1 is the serial
 // path.
 func FromFlowsWorkers(st *datastore.Store, campus netip.Prefix, workers int) *Dataset {
-	start := time.Now()
+	defer obs.Default.StartSpan("featurize")()
 	flows := st.Flows()
 	d := &Dataset{
 		Schema: FlowSchema,
@@ -54,7 +55,6 @@ func FromFlowsWorkers(st *datastore.Store, campus netip.Prefix, workers int) *Da
 		d.X[i] = flowVector(fm, campus)
 		d.Y[i] = int(fm.Label)
 	})
-	telemetry.Pipeline.RecordStage("featurize", time.Since(start))
 	return d
 }
 

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"campuslab/internal/features"
+	"campuslab/internal/obs"
 	"campuslab/internal/parallel"
-	"campuslab/internal/telemetry"
 )
 
 // ForestConfig controls random-forest training.
@@ -55,7 +54,7 @@ func FitForest(d *features.Dataset, classes int, cfg ForestConfig) (*Forest, err
 	if maxFeat < 1 {
 		maxFeat = 1
 	}
-	start := time.Now()
+	defer obs.Default.StartSpan("train")()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	boots := make([][]int, cfg.Trees)
 	seeds := make([]int64, cfg.Trees)
@@ -94,7 +93,6 @@ func FitForest(d *features.Dataset, classes int, cfg ForestConfig) (*Forest, err
 			return nil, err
 		}
 	}
-	telemetry.Pipeline.RecordStage("train", time.Since(start))
 	return f, nil
 }
 

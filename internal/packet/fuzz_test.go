@@ -1,0 +1,127 @@
+package packet_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// fuzzSeeds returns a mix of realistic frames (from the deterministic
+// traffic generators, so the corpus exercises real Ethernet/IPv4/IPv6/
+// TCP/UDP/DNS layouts) plus truncations and a few hand-built degenerate
+// frames.
+func fuzzSeeds() [][]byte {
+	plan := traffic.DefaultPlan(20)
+	var seeds [][]byte
+	add := func(g traffic.Generator, n int) {
+		var f traffic.Frame
+		for i := 0; i < n; i++ {
+			if !g.Next(&f) {
+				return
+			}
+			seeds = append(seeds, append([]byte(nil), f.Data...))
+		}
+	}
+	add(traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 40, Duration: time.Second, Seed: 11}), 32)
+	add(traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(3),
+		Duration: time.Second, Rate: 50, Seed: 12,
+	}), 16)
+
+	// Truncations of a real frame stress every length check.
+	if len(seeds) > 0 {
+		full := seeds[0]
+		for _, n := range []int{0, 1, 13, 14, 20, 33, 34, 41, 42, 54} {
+			if n <= len(full) {
+				seeds = append(seeds, full[:n])
+			}
+		}
+	}
+	seeds = append(seeds,
+		[]byte{},
+		bytes.Repeat([]byte{0xff}, 64),
+		bytes.Repeat([]byte{0x00}, 64),
+	)
+	return seeds
+}
+
+// FuzzParse drives the allocation-free fast-path decoder with arbitrary
+// frames. The parser sits directly behind capture ingest, so it must
+// never panic and must keep its documented invariants on any input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		fp := packet.NewFlowParser()
+		var s packet.Summary
+		err := fp.Parse(frame, &s)
+
+		// WireLen records the frame length whether or not parsing succeeds.
+		if s.WireLen != len(frame) {
+			t.Fatalf("WireLen = %d, frame length %d", s.WireLen, len(frame))
+		}
+		if err != nil {
+			return
+		}
+		// Transport flags are mutually exclusive and imply HasIP.
+		set := 0
+		for _, b := range []bool{s.HasTCP, s.HasUDP, s.HasICMP} {
+			if b {
+				set++
+			}
+		}
+		if set > 1 {
+			t.Fatalf("multiple transport flags set: %+v", s)
+		}
+		if set == 1 && !s.HasIP {
+			t.Fatalf("transport without IP: %+v", s)
+		}
+		if s.HasTCP && s.Tuple.Proto != packet.IPProtocolTCP {
+			t.Fatalf("HasTCP but proto %v", s.Tuple.Proto)
+		}
+		if s.HasUDP && s.Tuple.Proto != packet.IPProtocolUDP {
+			t.Fatalf("HasUDP but proto %v", s.Tuple.Proto)
+		}
+		if s.IsDNS && !s.HasUDP {
+			t.Fatalf("DNS quick-look without UDP: %+v", s)
+		}
+		if s.PayloadLen < 0 || s.IPLen < 0 || s.DNSMsgLen < 0 {
+			t.Fatalf("negative length: %+v", s)
+		}
+
+		// Parsing is deterministic: a reused parser yields the same summary.
+		var s2 packet.Summary
+		if err2 := fp.Parse(frame, &s2); err2 != nil {
+			t.Fatalf("reparse failed: %v", err2)
+		}
+		if s != s2 {
+			t.Fatalf("reparse diverged:\n%+v\n%+v", s, s2)
+		}
+	})
+}
+
+// FuzzDecode drives the full layer decoder (the slow, allocating path
+// used by pcap tooling) with the same corpus.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		p, err := packet.Decode(frame, packet.LayerTypeEthernet)
+		if err != nil {
+			return
+		}
+		// A successful decode yields at least one layer unless the frame
+		// was empty or ran out mid-layer (Truncated keeps what it has).
+		if len(p.Layers()) == 0 && len(frame) > 0 && !p.Truncated {
+			t.Fatal("decoded packet has no layers")
+		}
+		if !bytes.Equal(p.Data(), frame) {
+			t.Fatal("Data() does not round-trip the input frame")
+		}
+	})
+}

@@ -5,8 +5,16 @@ import (
 	"time"
 
 	"campuslab/internal/control"
+	"campuslab/internal/obs"
 	"campuslab/internal/packet"
 	"campuslab/internal/traffic"
+)
+
+// Canary watchdog metrics: one series per tick and per rollback so an
+// operator can see the harm-budget machinery working (or firing).
+var (
+	obsCanaryTicks     = obs.Default.Counter("campuslab_roadtest_canary_ticks_total")
+	obsCanaryRollbacks = obs.Default.Counter("campuslab_roadtest_canary_rollbacks_total")
 )
 
 // CanaryConfig guards a deployment with a harm budget: the model runs
@@ -91,12 +99,14 @@ func RunCanary(scenario traffic.Generator, cfg CanaryConfig) (*CanaryResult, err
 		}
 		if processed%uint64(cfg.Window) == 0 {
 			flush()
+			obsCanaryTicks.Inc()
 			snap := loop.BenignDroppedSoFar()
 			if snap > cfg.MaxBenignDrops {
 				res.RolledBack = true
 				res.RollbackAt = f.TS
 				res.PacketsUntilRollback = processed
 				res.BenignDropsAtRollback = snap
+				obsCanaryRollbacks.Inc()
 			}
 		}
 	}
@@ -107,6 +117,7 @@ func RunCanary(scenario traffic.Generator, cfg CanaryConfig) (*CanaryResult, err
 		res.RolledBack = true
 		res.PacketsUntilRollback = processed
 		res.BenignDropsAtRollback = res.Final.BenignDropped
+		obsCanaryRollbacks.Inc()
 	}
 	return res, nil
 }

@@ -115,7 +115,7 @@ func TestCanaryConcurrentDeploys(t *testing.T) {
 	var wg sync.WaitGroup
 	var bad, good outcome
 	wg.Add(2)
-	go func() { defer wg.Done(); bad = run(251, 0) }()     // rolls back almost immediately
+	go func() { defer wg.Done(); bad = run(251, 0) }()      // rolls back almost immediately
 	go func() { defer wg.Done(); good = run(252, 1<<40) }() // runs to completion
 	wg.Wait()
 	if bad.err != nil || good.err != nil {

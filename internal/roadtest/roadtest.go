@@ -14,6 +14,7 @@ import (
 
 	"campuslab/internal/control"
 	"campuslab/internal/netsim"
+	"campuslab/internal/obs"
 	"campuslab/internal/packet"
 	"campuslab/internal/traffic"
 )
@@ -111,6 +112,11 @@ func Run(cfg Config) (*Report, error) {
 		rep.Reaction = 0 // inline mitigation: immediate
 	}
 	rep.Violations = checkSpec(cfg.Spec, rep)
+	if rep.Passed() {
+		obs.Default.Counter("campuslab_roadtest_runs_total", "result", "pass").Inc()
+	} else {
+		obs.Default.Counter("campuslab_roadtest_runs_total", "result", "fail").Inc()
+	}
 	return rep, nil
 }
 

@@ -2,70 +2,56 @@ package telemetry
 
 import (
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"campuslab/internal/obs"
 )
 
-// PipelineStats aggregates wall-clock time per offline-pipeline stage
-// (ingest, featurize, train, ...) plus lock-contention counters from the
-// sharded data store. It is the observability surface for the parallel
-// offline loop: cheap atomic counters, safe for concurrent recording from
-// worker pools.
+// PipelineStats is the historical observability surface for the parallel
+// offline loop. Since the obs registry subsumed it, it is a thin view:
+// every recording delegates to an obs.Registry (the process-wide
+// Pipeline writes obs.Default, so labd's METRICS command and the -http
+// endpoint expose the same numbers), and the read accessors reconstruct
+// the old shapes from registry series. Kept so existing callers and
+// tests keep one stable API.
 type PipelineStats struct {
-	mu     sync.Mutex
-	stages map[string]*stageCounter
-
-	shardContention atomic.Uint64
+	reg *obs.Registry
 }
 
-type stageCounter struct {
-	nanos atomic.Int64
-	calls atomic.Uint64
-}
-
-// NewPipelineStats returns an empty recorder.
+// NewPipelineStats returns a recorder backed by a private registry
+// (isolated from obs.Default — used by tests).
 func NewPipelineStats() *PipelineStats {
-	return &PipelineStats{stages: make(map[string]*stageCounter)}
+	return &PipelineStats{reg: obs.NewRegistry()}
 }
 
-// Pipeline is the process-wide recorder the offline stages report into.
-var Pipeline = NewPipelineStats()
+// Pipeline is the process-wide recorder the offline stages report into,
+// backed by the process-wide obs registry.
+var Pipeline = &PipelineStats{reg: obs.Default}
 
-func (p *PipelineStats) stage(name string) *stageCounter {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	sc, ok := p.stages[name]
-	if !ok {
-		sc = &stageCounter{}
-		p.stages[name] = sc
-	}
-	return sc
-}
+// Registry exposes the backing registry.
+func (p *PipelineStats) Registry() *obs.Registry { return p.reg }
 
 // RecordStage adds one invocation of stage taking d of wall time.
 func (p *PipelineStats) RecordStage(stage string, d time.Duration) {
-	sc := p.stage(stage)
-	sc.nanos.Add(int64(d))
-	sc.calls.Add(1)
+	p.reg.RecordStage(stage, d)
 }
 
 // TimeStage runs fn and records its wall time under stage.
 func (p *PipelineStats) TimeStage(stage string, fn func()) {
-	start := time.Now()
+	done := p.reg.StartSpan(stage)
 	fn()
-	p.RecordStage(stage, time.Since(start))
+	done()
 }
 
 // AddShardContention counts n contended shard-lock acquisitions (an
 // acquisition that had to wait because another worker held the shard).
 func (p *PipelineStats) AddShardContention(n uint64) {
-	p.shardContention.Add(n)
+	p.reg.Counter(obs.ShardContentionName).Add(n)
 }
 
 // ShardContention returns the cumulative contended-acquisition count.
 func (p *PipelineStats) ShardContention() uint64 {
-	return p.shardContention.Load()
+	return p.reg.Counter(obs.ShardContentionName).Value()
 }
 
 // StageSample is one stage's cumulative totals.
@@ -83,26 +69,44 @@ func (s StageSample) Mean() time.Duration {
 	return s.Total / time.Duration(s.Calls)
 }
 
+func stageLabel(s obs.Series) string {
+	for _, l := range s.Labels {
+		if l.Key == "stage" {
+			return l.Value
+		}
+	}
+	return ""
+}
+
 // Stages returns a snapshot of every recorded stage, sorted by name.
 func (p *PipelineStats) Stages() []StageSample {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]StageSample, 0, len(p.stages))
-	for name, sc := range p.stages {
-		out = append(out, StageSample{
-			Stage: name,
-			Total: time.Duration(sc.nanos.Load()),
-			Calls: sc.calls.Load(),
-		})
+	byStage := make(map[string]*StageSample)
+	for _, s := range p.reg.SeriesByName(obs.StageNanosName) {
+		byStage[stageLabel(s)] = &StageSample{Stage: stageLabel(s), Total: time.Duration(s.Value)}
+	}
+	for _, s := range p.reg.SeriesByName(obs.StageCallsName) {
+		st := stageLabel(s)
+		if sample, ok := byStage[st]; ok {
+			sample.Calls = uint64(s.Value)
+		} else {
+			byStage[st] = &StageSample{Stage: st, Calls: uint64(s.Value)}
+		}
+	}
+	out := make([]StageSample, 0, len(byStage))
+	for _, sample := range byStage {
+		// A zeroed series (post-Reset) is indistinguishable from a
+		// never-recorded stage; report neither.
+		if sample.Calls == 0 && sample.Total == 0 {
+			continue
+		}
+		out = append(out, *sample)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
 	return out
 }
 
-// Reset zeroes all counters.
+// Reset zeroes the stage and contention counters (targeted: other
+// families in the backing registry are untouched).
 func (p *PipelineStats) Reset() {
-	p.mu.Lock()
-	p.stages = make(map[string]*stageCounter)
-	p.mu.Unlock()
-	p.shardContention.Store(0)
+	p.reg.ResetNames(obs.StageNanosName, obs.StageCallsName, obs.ShardContentionName)
 }

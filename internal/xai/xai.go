@@ -14,6 +14,7 @@ import (
 
 	"campuslab/internal/features"
 	"campuslab/internal/ml"
+	"campuslab/internal/obs"
 )
 
 // ExtractConfig controls model extraction.
@@ -46,6 +47,7 @@ type Extraction struct {
 // and fit a tree to the black box's behaviour (not to ground truth — the
 // tree mimics the model, which is what makes fidelity meaningful).
 func Extract(blackbox ml.Classifier, ref *features.Dataset, cfg ExtractConfig) (*Extraction, error) {
+	defer obs.Default.StartSpan("extract")()
 	if ref.Len() == 0 {
 		return nil, fmt.Errorf("xai: empty reference dataset")
 	}

@@ -15,8 +15,17 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test ./... (with coverage gate)"
+go test -coverprofile=coverage.out ./...
+COVER=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+# Ratchet floor: measured 83.5% total when the gate was introduced.
+# Raise the floor when coverage rises; never lower it to merge.
+COVER_FLOOR=82.0
+echo "    total coverage: ${COVER}% (floor ${COVER_FLOOR}%)"
+awk -v c="$COVER" -v f="$COVER_FLOOR" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || {
+    echo "verify: FAIL — coverage ${COVER}% below floor ${COVER_FLOOR}%" >&2
+    exit 1
+}
 
 echo "==> go test -race (control, datastore, faults)"
 go test -race ./internal/control ./internal/datastore ./internal/faults
@@ -26,5 +35,9 @@ go test -race -run 'TestConcurrentInstallDuringBatch|TestSwitchPipelineEquivalen
 
 echo "==> bench smoke (compiled fast path, must stay 0 allocs/op)"
 go test -run=NONE -bench=SwitchProcess -benchtime=100x ./internal/dataplane
+
+echo "==> fuzz smoke (packet parser, labd dispatcher)"
+go test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/packet
+go test -run=FuzzDispatch -fuzz=FuzzDispatch -fuzztime=5s ./cmd/labd
 
 echo "verify: OK"
