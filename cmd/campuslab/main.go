@@ -164,7 +164,10 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	total := st.Count(datastore.MustFilter(*expr))
+	total, err := st.CountExpr(*expr)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%d packets match %q (showing %d)\n", total, *expr, len(matches))
 	for i := range matches {
 		sp := &matches[i]

@@ -1,0 +1,95 @@
+package datastore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"campuslab/internal/traffic"
+)
+
+// Query-engine benchmarks (DESIGN.md §11): BenchmarkSelect and
+// BenchmarkCount sweep selective vs broad filters × shard counts × query
+// workers × planner-vs-scan path, so one run shows both the index win
+// (path=index vs path=scan at workers=1) and the shard fan-out curve
+// (workers sweep — needs a multi-core box to show wall-clock gains):
+//
+//	go test -bench='BenchmarkSelect|BenchmarkCount' -benchmem ./internal/datastore
+
+// queryBenchFrames synthesizes one ~45k-packet benign+attack episode,
+// built once and shared by every benchmark store.
+var queryBenchFrames = sync.OnceValue(func() []traffic.Frame {
+	plan := traffic.DefaultPlan(60)
+	benign := traffic.NewCampus(traffic.Profile{
+		Plan: plan, FlowsPerSecond: 120, Duration: 6 * time.Second, Seed: 9301,
+	})
+	amp := traffic.NewAttack(traffic.AttackConfig{
+		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(7),
+		Start: 500 * time.Millisecond, Duration: 4 * time.Second, Rate: 1500, Seed: 9302,
+	})
+	return traffic.Collect(traffic.NewMerge(benign, amp), 0)
+})
+
+// queryBenchStores caches one loaded store per shard count.
+var queryBenchStores sync.Map
+
+func queryBenchStore(b *testing.B, shards int) *Store {
+	b.Helper()
+	if st, ok := queryBenchStores.Load(shards); ok {
+		return st.(*Store)
+	}
+	st := NewSharded(shards)
+	st.AddBatch(queryBenchFrames(), 0)
+	queryBenchStores.Store(shards, st)
+	return st
+}
+
+// queryBenchCases: a selective filter the planner can answer almost
+// entirely from posting lists, and a broad one that forces the scan path.
+var queryBenchCases = []struct{ name, expr string }{
+	{"selective", "proto == udp && dst.port == 53"},
+	{"broad", "len > 100"},
+}
+
+func benchQuery(b *testing.B, run func(b *testing.B, st *Store, f *Filter)) {
+	for _, c := range queryBenchCases {
+		f := MustFilter(c.expr)
+		for _, shards := range []int{1, 4, 16} {
+			st := queryBenchStore(b, shards)
+			for _, workers := range []int{1, 4} {
+				for _, path := range []string{"index", "scan"} {
+					name := fmt.Sprintf("expr=%s/shards=%d/workers=%d/path=%s", c.name, shards, workers, path)
+					b.Run(name, func(b *testing.B) {
+						st.SetQueryWorkers(workers)
+						st.SetScanQuery(path == "scan")
+						defer st.SetScanQuery(false)
+						b.ReportAllocs()
+						b.ResetTimer()
+						run(b, st, f)
+					})
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	benchQuery(b, func(b *testing.B, st *Store, f *Filter) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(st.Select(f, 0))
+		}
+		b.ReportMetric(float64(n), "hits")
+	})
+}
+
+func BenchmarkCount(b *testing.B) {
+	benchQuery(b, func(b *testing.B, st *Store, f *Filter) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = st.Count(f)
+		}
+		b.ReportMetric(float64(n), "hits")
+	})
+}

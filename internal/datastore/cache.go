@@ -1,0 +1,62 @@
+package datastore
+
+import (
+	"sync"
+
+	"campuslab/internal/obs"
+)
+
+// Compiled-filter cache: parsing + planning a filter expression costs far
+// more than executing a selective query, and serving paths (labd QUERY,
+// the campuslab query command, experiments) tend to repeat a small set of
+// expressions. The cache is keyed by the exact expression text; entries
+// are immutable *Filter values (safe to share across goroutines), so a
+// hit is a map read. Bounded FIFO eviction keeps the worst case small —
+// there is no value in LRU precision for a cache this cheap to refill.
+
+const filterCacheCap = 256
+
+var (
+	obsFilterCacheHits   = obs.Default.Counter("campuslab_query_filter_cache_total", "result", "hit")
+	obsFilterCacheMisses = obs.Default.Counter("campuslab_query_filter_cache_total", "result", "miss")
+)
+
+var filterCache = struct {
+	mu   sync.RWMutex
+	m    map[string]*Filter
+	fifo []string
+}{m: make(map[string]*Filter)}
+
+// ParseFilterCached returns the compiled filter for expr, parsing and
+// planning it at most once per process (until evicted). Parse errors are
+// not cached: they are cheap to reproduce and keeping them would let
+// garbage expressions evict useful entries.
+func ParseFilterCached(expr string) (*Filter, error) {
+	filterCache.mu.RLock()
+	f, ok := filterCache.m[expr]
+	filterCache.mu.RUnlock()
+	if ok {
+		obsFilterCacheHits.Inc()
+		return f, nil
+	}
+	obsFilterCacheMisses.Inc()
+	f, err := ParseFilter(expr)
+	if err != nil {
+		return nil, err
+	}
+	filterCache.mu.Lock()
+	if have, ok := filterCache.m[expr]; ok {
+		// Raced with another parser; keep the incumbent so callers share
+		// one compiled instance.
+		f = have
+	} else {
+		if len(filterCache.fifo) >= filterCacheCap {
+			delete(filterCache.m, filterCache.fifo[0])
+			filterCache.fifo = filterCache.fifo[1:]
+		}
+		filterCache.m[expr] = f
+		filterCache.fifo = append(filterCache.fifo, expr)
+	}
+	filterCache.mu.Unlock()
+	return f, nil
+}

@@ -9,6 +9,7 @@ import (
 	"unicode"
 
 	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
 )
 
 // The store's filter language gives analysts the "fast and flexible search
@@ -30,7 +31,10 @@ import (
 // Predicate is a compiled filter.
 type Predicate func(*StoredPacket) bool
 
-// Filter is a parsed, compiled filter expression.
+// Filter is a parsed, compiled filter expression. A Filter is immutable
+// after ParseFilter returns and safe for concurrent use by any number of
+// queries (which is what lets SelectExpr cache and share compiled filters
+// across requests).
 type Filter struct {
 	expr string
 	pred Predicate
@@ -38,6 +42,9 @@ type Filter struct {
 	// unbounded.
 	minTS, maxTS   time.Duration
 	hasMin, hasMax bool
+	// plan is the query plan the index-assisted engine derived from the
+	// expression's AND-conjuncts (see plan.go).
+	plan queryPlan
 }
 
 // Expr returns the original expression text.
@@ -50,6 +57,11 @@ func (f *Filter) Match(sp *StoredPacket) bool { return f.pred(sp) }
 func (f *Filter) TimeBounds() (min, max time.Duration, hasMin, hasMax bool) {
 	return f.minTS, f.maxTS, f.hasMin, f.hasMax
 }
+
+// Indexable reports whether the planner found at least one posting-list
+// conjunct in the expression — i.e. whether the index-assisted path is
+// available (shards may still fall back to scanning on poor selectivity).
+func (f *Filter) Indexable() bool { return f.plan.indexable }
 
 // ParseFilter compiles a filter expression.
 func ParseFilter(expr string) (*Filter, error) {
@@ -64,6 +76,7 @@ func ParseFilter(expr string) (*Filter, error) {
 	}
 	f := &Filter{expr: expr, pred: node.pred}
 	extractTimeBounds(node, f)
+	f.plan = buildPlan(node)
 	return f, nil
 }
 
@@ -178,7 +191,7 @@ func classifyWord(w string) token {
 // --- parser / compiler ---
 
 // node carries a compiled predicate plus structural info for time-bound
-// extraction.
+// extraction and planning.
 type node struct {
 	pred Predicate
 	// and-children for bound extraction; comparisons on ts fill tsCmp.
@@ -186,6 +199,10 @@ type node struct {
 	kids  []*node
 	tsOp  string
 	tsVal time.Duration
+	// ix/ixVal describe the posting list whose membership is exactly
+	// equivalent to this leaf (ixNone when the leaf is not indexable).
+	ix    ixKind
+	ixVal uint64
 }
 
 func (p *filterParser) parseOr() (*node, error) {
@@ -258,11 +275,7 @@ func (p *filterParser) parseComparison() (*node, error) {
 	p.next()
 	if p.tok.kind != tokOp {
 		// bare flag: dns, dns.resp, tcp.syn, ...
-		pred, err := flagPredicate(field)
-		if err != nil {
-			return nil, err
-		}
-		return &node{kind: "flag", pred: pred}, nil
+		return flagNode(field)
 	}
 	op := p.tok.text
 	p.next()
@@ -274,20 +287,29 @@ func (p *filterParser) parseComparison() (*node, error) {
 	return compileComparison(field, op, val)
 }
 
-func flagPredicate(field string) (Predicate, error) {
+// flagNode compiles a bare flag field. Positive summary flags carry an
+// index descriptor: the flag posting list holds exactly the packets where
+// the flag is true, so membership ⇔ predicate.
+func flagNode(field string) (*node, error) {
 	switch field {
 	case "dns":
-		return func(sp *StoredPacket) bool { return sp.Summary.IsDNS }, nil
+		return &node{kind: "flag", ix: ixFlag, ixVal: flagDNS,
+			pred: func(sp *StoredPacket) bool { return sp.Summary.IsDNS }}, nil
 	case "dns.resp":
-		return func(sp *StoredPacket) bool { return sp.Summary.DNSResponse }, nil
+		return &node{kind: "flag", ix: ixFlag, ixVal: flagDNSResp,
+			pred: func(sp *StoredPacket) bool { return sp.Summary.DNSResponse }}, nil
 	case "tcp":
-		return func(sp *StoredPacket) bool { return sp.Summary.HasTCP }, nil
+		return &node{kind: "flag", ix: ixFlag, ixVal: flagTCP,
+			pred: func(sp *StoredPacket) bool { return sp.Summary.HasTCP }}, nil
 	case "udp":
-		return func(sp *StoredPacket) bool { return sp.Summary.HasUDP }, nil
+		return &node{kind: "flag", ix: ixFlag, ixVal: flagUDP,
+			pred: func(sp *StoredPacket) bool { return sp.Summary.HasUDP }}, nil
 	case "icmp":
-		return func(sp *StoredPacket) bool { return sp.Summary.HasICMP }, nil
+		return &node{kind: "flag", ix: ixFlag, ixVal: flagICMP,
+			pred: func(sp *StoredPacket) bool { return sp.Summary.HasICMP }}, nil
 	case "ip":
-		return func(sp *StoredPacket) bool { return sp.Summary.HasIP }, nil
+		return &node{kind: "flag", ix: ixFlag, ixVal: flagIP,
+			pred: func(sp *StoredPacket) bool { return sp.Summary.HasIP }}, nil
 	case "tcp.syn", "tcp.ack", "tcp.fin", "tcp.rst", "tcp.psh":
 		var bit packet.TCPFlags
 		switch field {
@@ -302,7 +324,8 @@ func flagPredicate(field string) (Predicate, error) {
 		case "tcp.psh":
 			bit = packet.TCPPsh
 		}
-		return func(sp *StoredPacket) bool { return sp.Summary.HasTCP && sp.Summary.TCPFlags.Has(bit) }, nil
+		return &node{kind: "flag",
+			pred: func(sp *StoredPacket) bool { return sp.Summary.HasTCP && sp.Summary.TCPFlags.Has(bit) }}, nil
 	default:
 		return nil, fmt.Errorf("unknown flag %q", field)
 	}
@@ -333,13 +356,13 @@ func compileComparison(field, op string, val token) (*node, error) {
 	case "ttl":
 		return numericNode(op, val, func(sp *StoredPacket) int64 { return int64(sp.Summary.TTL) })
 	case "src.port":
-		return numericNode(op, val, func(sp *StoredPacket) int64 { return int64(sp.Summary.Tuple.SrcPort) })
+		return indexedNumericNode(ixSrcPort, op, val, func(sp *StoredPacket) int64 { return int64(sp.Summary.Tuple.SrcPort) })
 	case "dst.port":
-		return numericNode(op, val, func(sp *StoredPacket) int64 { return int64(sp.Summary.Tuple.DstPort) })
+		return indexedNumericNode(ixDstPort, op, val, func(sp *StoredPacket) int64 { return int64(sp.Summary.Tuple.DstPort) })
 	case "dns.answers":
 		return numericNode(op, val, func(sp *StoredPacket) int64 { return int64(sp.Summary.DNSAnswerCnt) })
 	case "link":
-		return numericNode(op, val, func(sp *StoredPacket) int64 { return int64(sp.Link) })
+		return indexedNumericNode(ixLink, op, val, func(sp *StoredPacket) int64 { return int64(sp.Link) })
 	case "src.ip", "dst.ip":
 		get := func(sp *StoredPacket) netip.Addr { return sp.Summary.Tuple.SrcIP }
 		if field == "dst.ip" {
@@ -377,11 +400,39 @@ func compileComparison(field, op string, val token) (*node, error) {
 		}
 		switch op {
 		case "==":
-			return &node{kind: "cmp", pred: func(sp *StoredPacket) bool { return sp.Summary.Tuple.Proto == want }}, nil
+			return &node{kind: "cmp", ix: ixProto, ixVal: uint64(want),
+				pred: func(sp *StoredPacket) bool { return sp.Summary.Tuple.Proto == want }}, nil
 		case "!=":
 			return &node{kind: "cmp", pred: func(sp *StoredPacket) bool { return sp.Summary.Tuple.Proto != want }}, nil
 		default:
 			return nil, fmt.Errorf("proto supports == and != only")
+		}
+	case "label":
+		// Packet-level ground-truth label (from labeled generators):
+		// label == dns-amp, label != benign, or a numeric class id.
+		var want traffic.Label
+		found := false
+		for l := traffic.LabelBenign; l < traffic.NumLabels; l++ {
+			if l.String() == val.text {
+				want, found = l, true
+				break
+			}
+		}
+		if !found {
+			n, err := strconv.ParseUint(val.text, 10, 8)
+			if err != nil || traffic.Label(n) >= traffic.NumLabels {
+				return nil, fmt.Errorf("unknown label %q", val.text)
+			}
+			want = traffic.Label(n)
+		}
+		switch op {
+		case "==":
+			return &node{kind: "cmp", ix: ixLabel, ixVal: uint64(want),
+				pred: func(sp *StoredPacket) bool { return sp.Label == want }}, nil
+		case "!=":
+			return &node{kind: "cmp", pred: func(sp *StoredPacket) bool { return sp.Label != want }}, nil
+		default:
+			return nil, fmt.Errorf("label supports == and != only")
 		}
 	case "dns.qtype":
 		var want packet.DNSType
@@ -428,6 +479,21 @@ func numericNode(op string, val token, get func(*StoredPacket) int64) (*node, er
 		return nil, err
 	}
 	return &node{kind: "cmp", pred: pred}, nil
+}
+
+// indexedNumericNode is numericNode for fields backed by a posting list;
+// equality comparisons get an index descriptor (values outside the field's
+// domain simply find an empty posting list, which is still exact).
+func indexedNumericNode(kind ixKind, op string, val token, get func(*StoredPacket) int64) (*node, error) {
+	n, err := numericNode(op, val, get)
+	if err != nil {
+		return nil, err
+	}
+	if op == "==" {
+		v, _ := strconv.ParseUint(val.text, 10, 64)
+		n.ix, n.ixVal = kind, v
+	}
+	return n, nil
 }
 
 func ordPredicate(op string, get func(*StoredPacket) int64, want int64) (Predicate, error) {

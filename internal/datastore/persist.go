@@ -238,11 +238,10 @@ func Load(r io.Reader) (*Store, error) {
 		if _, err := io.ReadFull(cr, f.Data); err != nil {
 			return nil, fmt.Errorf("%w: packet %d body: %v", ErrBadSnapshot, i, err)
 		}
-		id := st.IngestFrame(&f)
-		// Restore the link id lost by IngestFrame's single-tap default.
-		if link != 0 {
-			st.withPacket(id, func(sp *StoredPacket) { sp.Link = link })
-		}
+		// Ingest with the stored link id directly so flow metadata and the
+		// secondary indexes (including the link posting lists) rebuild
+		// exactly as they were at save time.
+		st.ingest(f.TS, link, f.Data, f.Label, f.Actor)
 	}
 	if err := checkCRC(br, cr, "packets"); err != nil {
 		return nil, err

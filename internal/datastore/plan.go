@@ -1,0 +1,112 @@
+package datastore
+
+// The query planner, following the dataplane's compile-don't-interpret
+// playbook: ParseFilter walks the expression AST once, pulls out the
+// conjuncts that are exactly answerable from posting lists, and compiles
+// everything else into a single residual predicate. At query time each
+// shard intersects the candidate posting lists (clipped to the filter's
+// time bounds via the (TS, ID) co-sort) and evaluates only the residual
+// on the candidates; shards where the index would not prune enough fall
+// back to the linear scan. Both paths produce identical results — the
+// CAMPUSLAB_SCAN_QUERY / SetScanQuery knob forces the serial scan as the
+// equivalence reference, mirroring the dataplane's CAMPUSLAB_SCAN_PATH.
+
+// queryPlan is what the planner derives from one filter expression. It is
+// store-independent and immutable, so it is computed once at parse time
+// and shared by every query using the filter.
+type queryPlan struct {
+	// indexable is true when at least one top-level AND-conjunct maps to
+	// a posting list. OR/NOT at the top level, or expressions made only
+	// of range/inequality leaves, plan as a full scan.
+	indexable bool
+	// keys are the posting lists to intersect per shard.
+	keys []ixRef
+	// residual is the conjunction of all non-indexed conjuncts (including
+	// ts comparisons, whose bounds prune the scan window but are not
+	// exact: `ts < 5s` and `ts <= 5s` share a window). nil means every
+	// conjunct was index-exact and candidates need no re-check.
+	residual Predicate
+}
+
+// selectivityFactor: a shard takes the index path only when its smallest
+// posting list is under 1/selectivityFactor of the scan window — past
+// that, sequential slab traversal beats candidate lookups.
+const selectivityFactor = 4
+
+// indexMinWindow: scan windows smaller than this are cheaper to walk than
+// to plan over.
+const indexMinWindow = 32
+
+// buildPlan derives the query plan from a parsed expression tree.
+func buildPlan(root *node) queryPlan {
+	var conjuncts []*node
+	collectConjuncts(root, &conjuncts)
+	var p queryPlan
+	var resid []Predicate
+	for _, c := range conjuncts {
+		if c.ix != ixNone {
+			p.keys = append(p.keys, ixRef{c.ix, c.ixVal})
+			continue // exact: posting membership ⇔ conjunct truth
+		}
+		resid = append(resid, c.pred)
+	}
+	if len(p.keys) == 0 {
+		return queryPlan{}
+	}
+	p.indexable = true
+	switch len(resid) {
+	case 0:
+		p.residual = nil
+	case 1:
+		p.residual = resid[0]
+	default:
+		p.residual = func(sp *StoredPacket) bool {
+			for _, pr := range resid {
+				if !pr(sp) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return p
+}
+
+// collectConjuncts flattens the top-level AND chain. Anything that is not
+// an AND node (OR, NOT, a lone leaf) is one opaque conjunct.
+func collectConjuncts(n *node, out *[]*node) {
+	if n.kind == "and" {
+		for _, k := range n.kids {
+			collectConjuncts(k, out)
+		}
+		return
+	}
+	*out = append(*out, n)
+}
+
+// shardCandidates runs the index path for one shard over slab positions
+// [lo, hi): it clips each posting list to the window's ID interval,
+// checks selectivity, and intersects. ok=false means this shard should
+// scan instead (no index advantage or plan not indexable).
+func (px *postings) shardCandidates(plan *queryPlan, slab []StoredPacket, lo, hi int) (cand []PacketID, ok bool) {
+	if !plan.indexable || hi-lo < indexMinWindow {
+		return nil, false
+	}
+	loID, hiID := slab[lo].ID, slab[hi-1].ID+1
+	lists := make([][]PacketID, len(plan.keys))
+	shortest := 0
+	for i, key := range plan.keys {
+		lists[i] = clipIDs(px.lookup(key), loID, hiID)
+		if len(lists[i]) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+	if len(lists[shortest]) == 0 {
+		return nil, true // provably empty: exact, and maximally selective
+	}
+	if len(lists[shortest])*selectivityFactor > hi-lo {
+		return nil, false // poor selectivity: scanning the window is cheaper
+	}
+	lists[0], lists[shortest] = lists[shortest], lists[0]
+	return intersectPostings(lists), true
+}

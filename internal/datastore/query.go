@@ -2,10 +2,45 @@ package datastore
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"campuslab/internal/obs"
+	"campuslab/internal/parallel"
 	"campuslab/internal/traffic"
 )
+
+// Query-engine metrics: planner decisions, index effectiveness (rows
+// touched vs rows returned), and end-to-end latency. These make the
+// planner auditable from labd METRICS / the /metrics endpoint.
+var (
+	obsQueryPlannerIndex = obs.Default.Counter("campuslab_query_planner_total", "path", "index")
+	obsQueryPlannerScan  = obs.Default.Counter("campuslab_query_planner_total", "path", "scan")
+	obsQueryPlannerRef   = obs.Default.Counter("campuslab_query_planner_total", "path", "reference")
+	obsQueryIndexShards  = obs.Default.Counter("campuslab_query_index_shards_total")
+	obsQueryRowsScanned  = obs.Default.Counter("campuslab_query_rows_scanned_total")
+	obsQueryRowsMatched  = obs.Default.Counter("campuslab_query_rows_matched_total")
+	obsQuerySeconds      = obs.Default.Histogram("campuslab_query_seconds",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1})
+)
+
+// queryStats accumulates per-query execution counters across the shard
+// goroutines, then flushes into the registry once.
+type queryStats struct {
+	indexShards atomic.Uint64
+	rowsScanned atomic.Uint64
+}
+
+func (qs *queryStats) flush(matched int, indexable bool) {
+	if indexable {
+		obsQueryPlannerIndex.Inc()
+	} else {
+		obsQueryPlannerScan.Inc()
+	}
+	obsQueryIndexShards.Add(qs.indexShards.Load())
+	obsQueryRowsScanned.Add(qs.rowsScanned.Load())
+	obsQueryRowsMatched.Add(uint64(matched))
+}
 
 // mergeCursor walks several shard packet slabs in global (TS, ID) order.
 // Each shard slab is already sorted by (TS, ID), so the merge is a k-way
@@ -41,6 +76,20 @@ func (m *mergeCursor) next() *StoredPacket {
 	return bestPkt
 }
 
+// sliceWindow returns the slab position interval [lo, hi) holding TS in
+// [from, to). A negative `to` means unbounded.
+func sliceWindow(slab []StoredPacket, from, to time.Duration) (lo, hi int) {
+	lo = 0
+	if from > 0 {
+		lo = sort.Search(len(slab), func(i int) bool { return slab[i].TS >= from })
+	}
+	hi = len(slab)
+	if to >= 0 {
+		hi = sort.Search(len(slab), func(i int) bool { return slab[i].TS >= to })
+	}
+	return lo, hi
+}
+
 // scanRange visits packets with TS in [from, to) in global (TS, ID) order,
 // stopping early if visit returns false. Shard read locks are held for the
 // duration. A negative `to` means unbounded.
@@ -49,16 +98,8 @@ func (s *Store) scanRange(from, to time.Duration, visit func(*StoredPacket) bool
 	defer unlock()
 	slabs := make([][]StoredPacket, len(s.shards))
 	for i, sh := range s.shards {
-		slab := sh.packets
-		lo := 0
-		if from > 0 {
-			lo = sort.Search(len(slab), func(i int) bool { return slab[i].TS >= from })
-		}
-		hi := len(slab)
-		if to >= 0 {
-			hi = sort.Search(len(slab), func(i int) bool { return slab[i].TS >= to })
-		}
-		slabs[i] = slab[lo:hi]
+		lo, hi := sliceWindow(sh.packets, from, to)
+		slabs[i] = sh.packets[lo:hi]
 	}
 	cur := newMergeCursor(slabs)
 	for sp := cur.next(); sp != nil; sp = cur.next() {
@@ -68,17 +109,49 @@ func (s *Store) scanRange(from, to time.Duration, visit func(*StoredPacket) bool
 	}
 }
 
-// Select scans the store for packets matching the filter, using the time
-// index to skip ranges the expression excludes. limit 0 means unlimited.
-// Results are in global time order regardless of sharding.
-func (s *Store) Select(f *Filter, limit int) []StoredPacket {
-	from, to := time.Duration(0), time.Duration(-1)
-	if min, _, hasMin, _ := f.TimeBounds(); hasMin {
+// scanWindow converts the filter's extracted time bounds into the
+// half-open scan interval the shard windows use. The bounds prune the
+// window but are not exact (`ts < 5s` and `ts <= 5s` share one window) —
+// ts conjuncts are always re-checked by the predicate/residual.
+func (f *Filter) scanWindow() (from, to time.Duration) {
+	from, to = 0, -1
+	min, max, hasMin, hasMax := f.TimeBounds()
+	if hasMin {
 		from = min
 	}
-	if _, max, _, hasMax := f.TimeBounds(); hasMax {
+	if hasMax {
 		to = max + 1 // serial path used ts > max as the exclusive bound
 	}
+	return from, to
+}
+
+// Select returns packets matching the filter in global (TS, ID) order,
+// regardless of sharding. limit 0 means unlimited. The planner runs
+// index-assisted, shard-parallel execution; results are byte-identical to
+// the serial full scan (forced via SetScanQuery / CAMPUSLAB_SCAN_QUERY).
+func (s *Store) Select(f *Filter, limit int) []StoredPacket {
+	start := time.Now()
+	defer func() { obsQuerySeconds.Observe(time.Since(start).Seconds()) }()
+	from, to := f.scanWindow()
+	if s.scanQuery.Load() {
+		obsQueryPlannerRef.Inc()
+		return s.selectScan(f, limit, from, to)
+	}
+	var qs queryStats
+	results := make([][]StoredPacket, len(s.shards))
+	unlock := s.rlockAll()
+	parallel.For(len(s.shards), int(s.queryWorkers.Load()), func(si int) {
+		results[si] = s.shards[si].selectLocal(f, from, to, limit, &qs)
+	})
+	unlock()
+	out := mergeSelect(results, limit)
+	qs.flush(len(out), f.plan.indexable)
+	return out
+}
+
+// selectScan is the serial full-scan reference implementation of Select —
+// the behaviour the engine must reproduce byte-for-byte.
+func (s *Store) selectScan(f *Filter, limit int, from, to time.Duration) []StoredPacket {
 	var out []StoredPacket
 	s.scanRange(from, to, func(sp *StoredPacket) bool {
 		if f.Match(sp) {
@@ -92,9 +165,99 @@ func (s *Store) Select(f *Filter, limit int) []StoredPacket {
 	return out
 }
 
+// selectLocal evaluates the filter over one shard, returning matches in
+// slab (= (TS, ID)) order. A per-shard limit prune is sound: the global
+// merge can never need more than `limit` packets from any one shard.
+func (sh *shard) selectLocal(f *Filter, from, to time.Duration, limit int, qs *queryStats) []StoredPacket {
+	slab := sh.packets
+	lo, hi := sliceWindow(slab, from, to)
+	if lo >= hi {
+		return nil
+	}
+	var out []StoredPacket
+	if cand, ok := sh.index.shardCandidates(&f.plan, slab, lo, hi); ok {
+		qs.indexShards.Add(1)
+		qs.rowsScanned.Add(uint64(len(cand)))
+		pos := lo
+		for _, id := range cand {
+			pos += sort.Search(hi-pos, func(k int) bool { return slab[pos+k].ID >= id })
+			sp := &slab[pos]
+			pos++
+			if f.plan.residual == nil || f.plan.residual(sp) {
+				out = append(out, *sp)
+				if limit > 0 && len(out) >= limit {
+					break
+				}
+			}
+		}
+		return out
+	}
+	qs.rowsScanned.Add(uint64(hi - lo))
+	for i := lo; i < hi; i++ {
+		if f.Match(&slab[i]) {
+			out = append(out, slab[i])
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// mergeSelect k-way merges per-shard result runs into global (TS, ID)
+// order, honouring the limit. Returns nil (not an empty slice) when
+// nothing matched, matching the serial reference.
+func mergeSelect(results [][]StoredPacket, limit int) []StoredPacket {
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	out := make([]StoredPacket, 0, total)
+	cur := newMergeCursor(results)
+	for sp := cur.next(); sp != nil; sp = cur.next() {
+		out = append(out, *sp)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
 // Count returns the number of packets matching the filter. Order is
-// irrelevant for counting, so shards are scanned independently.
+// irrelevant for counting, so shards count independently (in parallel)
+// and the partial sums add up; with no residual predicate the count is
+// the posting-list intersection size and no packet is touched.
 func (s *Store) Count(f *Filter) int {
+	start := time.Now()
+	defer func() { obsQuerySeconds.Observe(time.Since(start).Seconds()) }()
+	if s.scanQuery.Load() {
+		obsQueryPlannerRef.Inc()
+		return s.countScan(f)
+	}
+	from, to := f.scanWindow()
+	var qs queryStats
+	counts := make([]int, len(s.shards))
+	unlock := s.rlockAll()
+	parallel.For(len(s.shards), int(s.queryWorkers.Load()), func(si int) {
+		counts[si] = s.shards[si].countLocal(f, from, to, &qs)
+	})
+	unlock()
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	qs.flush(n, f.plan.indexable)
+	return n
+}
+
+// countScan is the serial full-scan reference implementation of Count.
+func (s *Store) countScan(f *Filter) int {
 	unlock := s.rlockAll()
 	defer unlock()
 	n := 0
@@ -108,13 +271,59 @@ func (s *Store) Count(f *Filter) int {
 	return n
 }
 
-// SelectExpr parses expr and runs Select.
+// countLocal counts one shard's matches. Windowing by the filter's time
+// bounds is sound for counting too: a packet outside the window fails the
+// ts conjunct that produced the bound.
+func (sh *shard) countLocal(f *Filter, from, to time.Duration, qs *queryStats) int {
+	slab := sh.packets
+	lo, hi := sliceWindow(slab, from, to)
+	if lo >= hi {
+		return 0
+	}
+	if cand, ok := sh.index.shardCandidates(&f.plan, slab, lo, hi); ok {
+		qs.indexShards.Add(1)
+		qs.rowsScanned.Add(uint64(len(cand)))
+		if f.plan.residual == nil {
+			return len(cand)
+		}
+		n, pos := 0, lo
+		for _, id := range cand {
+			pos += sort.Search(hi-pos, func(k int) bool { return slab[pos+k].ID >= id })
+			if f.plan.residual(&slab[pos]) {
+				n++
+			}
+			pos++
+		}
+		return n
+	}
+	qs.rowsScanned.Add(uint64(hi - lo))
+	n := 0
+	for i := lo; i < hi; i++ {
+		if f.Match(&slab[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectExpr parses expr (through the compiled-filter cache) and runs
+// Select.
 func (s *Store) SelectExpr(expr string, limit int) ([]StoredPacket, error) {
-	f, err := ParseFilter(expr)
+	f, err := ParseFilterCached(expr)
 	if err != nil {
 		return nil, err
 	}
 	return s.Select(f, limit), nil
+}
+
+// CountExpr parses expr (through the compiled-filter cache) and runs
+// Count.
+func (s *Store) CountExpr(expr string) (int, error) {
+	f, err := ParseFilterCached(expr)
+	if err != nil {
+		return 0, err
+	}
+	return s.Count(f), nil
 }
 
 // PacketsBetween returns packets in [from, to), via the time index.
@@ -135,32 +344,64 @@ func (s *Store) Scan(visit func(*StoredPacket) bool) {
 }
 
 // FlowsWhere returns flow metadata satisfying pred, ordered by first TS.
+// The returned metas carry no per-flow packet IDs (PacketIDs reports nil)
+// — skipping that deep copy keeps predicate-driven listings cheap; use
+// FlowsWhereIDs when the IDs are needed. pred runs concurrently across
+// shards, so it must be safe for concurrent calls (any pure function is).
 func (s *Store) FlowsWhere(pred func(*FlowMeta) bool) []FlowMeta {
+	return s.flowsWhere(pred, false)
+}
+
+// FlowsWhereIDs is FlowsWhere with each flow's packet-ID list deep-copied
+// into the result.
+func (s *Store) FlowsWhereIDs(pred func(*FlowMeta) bool) []FlowMeta {
+	return s.flowsWhere(pred, true)
+}
+
+func (s *Store) flowsWhere(pred func(*FlowMeta) bool, withIDs bool) []FlowMeta {
 	unlock := s.rlockAll()
-	var out []FlowMeta
-	for _, sh := range s.shards {
-		for _, fm := range sh.flows {
+	partial := make([][]FlowMeta, len(s.shards))
+	parallel.For(len(s.shards), int(s.queryWorkers.Load()), func(si int) {
+		var out []FlowMeta
+		for _, fm := range s.shards[si].flows {
 			if pred(fm) {
 				cp := *fm
-				cp.pktIDs = append([]PacketID(nil), fm.pktIDs...)
+				cp.pktIDs = nil
+				if withIDs {
+					cp.pktIDs = append([]PacketID(nil), fm.pktIDs...)
+				}
 				out = append(out, cp)
 			}
 		}
-	}
+		partial[si] = out
+	})
 	unlock()
+	var out []FlowMeta
+	for _, p := range partial {
+		out = append(out, p...)
+	}
 	sortFlows(out)
 	return out
 }
 
 // LabelCounts tallies flows per ground-truth label — the class balance a
-// dataset builder needs before training.
+// dataset builder needs before training. Shards tally independently (in
+// parallel); the merged map is order-independent.
 func (s *Store) LabelCounts() map[traffic.Label]int {
 	unlock := s.rlockAll()
 	defer unlock()
+	partial := make([]map[traffic.Label]int, len(s.shards))
+	parallel.For(len(s.shards), int(s.queryWorkers.Load()), func(si int) {
+		m := make(map[traffic.Label]int)
+		for _, fm := range s.shards[si].flows {
+			m[fm.Label]++
+		}
+		partial[si] = m
+	})
 	out := make(map[traffic.Label]int)
-	for _, sh := range s.shards {
-		for _, fm := range sh.flows {
-			out[fm.Label]++
+	for _, m := range partial {
+		for k, v := range m {
+			out[k] += v
 		}
 	}
 	return out

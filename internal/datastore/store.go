@@ -14,6 +14,7 @@ package datastore
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -74,12 +75,14 @@ type FlowMeta struct {
 // maintained in order at ingest time and needs no merge.
 func (m *FlowMeta) PacketIDs() []PacketID { return m.pktIDs }
 
-// shard is one partition of the store: its own lock, packet slab and flow
-// map. Within a shard, packets are ordered by (TS, ID) — both ascending.
+// shard is one partition of the store: its own lock, packet slab, flow
+// map, and secondary index. Within a shard, packets are ordered by
+// (TS, ID) — both ascending.
 type shard struct {
 	mu         sync.RWMutex
 	packets    []StoredPacket
 	flows      map[FlowKey]*FlowMeta
+	index      *postings
 	dataBytes  uint64
 	indexBytes uint64
 }
@@ -123,7 +126,29 @@ type Store struct {
 	// persistFaults injects failures into SaveFile's write/sync/rename
 	// steps for crash-safety tests (nil = healthy).
 	persistFaults faults.Injector
+
+	// scanQuery forces Select/Count onto the serial full-scan reference
+	// path (see SetScanQuery); queryWorkers bounds query fan-out
+	// (0 = GOMAXPROCS).
+	scanQuery    atomic.Bool
+	queryWorkers atomic.Int32
 }
+
+// ScanQueryEnv, when set to any non-empty value, makes every new Store
+// answer queries through the serial full-scan reference path instead of
+// the index-assisted planner — the query-engine counterpart of the
+// dataplane's CAMPUSLAB_SCAN_PATH knob.
+const ScanQueryEnv = "CAMPUSLAB_SCAN_QUERY"
+
+// SetScanQuery forces (or releases) the serial full-scan reference path
+// for Select/Count. Results are identical either way; the knob exists so
+// tests and operators can diff the planner against the reference.
+func (s *Store) SetScanQuery(scan bool) { s.scanQuery.Store(scan) }
+
+// SetQueryWorkers bounds the goroutines a single query fans out across
+// shards (0 restores the GOMAXPROCS default). Results are identical at
+// any setting.
+func (s *Store) SetQueryWorkers(n int) { s.queryWorkers.Store(int32(n)) }
 
 // parserPool recycles flow parsers so concurrent ingest paths each get a
 // private scratch parser without per-packet allocation.
@@ -164,9 +189,10 @@ func NewSharded(n int) *Store {
 	n = ceilPow2(n)
 	s := &Store{shards: make([]*shard, n), mask: uint64(n - 1)}
 	for i := range s.shards {
-		s.shards[i] = &shard{flows: make(map[FlowKey]*FlowMeta)}
+		s.shards[i] = &shard{flows: make(map[FlowKey]*FlowMeta), index: newPostings()}
 	}
 	s.lastTS.Store(int64(-1 << 62))
+	s.scanQuery.Store(os.Getenv(ScanQueryEnv) != "")
 	return s
 }
 
@@ -238,6 +264,7 @@ func (sh *shard) apply(it *ingestItem) {
 		sh.packets[i] = sp
 	}
 	sh.dataBytes += uint64(len(sp.Data))
+	sh.indexBytes += 8 * uint64(sh.index.add(&sp))
 
 	if !sp.Summary.HasIP {
 		return
@@ -316,6 +343,13 @@ func (s *Store) IngestFrame(f *traffic.Frame) PacketID {
 // IngestFrame in order. Returns the ID of the first frame; subsequent
 // frames take consecutive IDs.
 func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
+	return s.addBatch(frames, nil, workers)
+}
+
+// addBatch is AddBatch with optional per-frame link ids (nil means link 0
+// everywhere — the generator path). Links ride through parsing so every
+// packet is indexed under its final link value.
+func (s *Store) addBatch(frames []traffic.Frame, links []uint16, workers int) PacketID {
 	n := len(frames)
 	if n == 0 {
 		return PacketID(s.nextID.Load())
@@ -331,6 +365,9 @@ func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
 			f := &frames[i]
 			it := &items[i]
 			it.link, it.data, it.label, it.actor = 0, f.Data, f.Label, f.Actor
+			if links != nil {
+				it.link = links[i]
+			}
 			it.ts = f.TS
 			_ = p.Parse(f.Data, &it.summary)
 		}
@@ -374,35 +411,16 @@ func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
 }
 
 // AddRecords stores captured records through the batched path. Records
-// carry no ground-truth labels (they came off the wire, not a generator).
+// carry no ground-truth labels (they came off the wire, not a generator);
+// per-record link ids flow through ingest so the link index stays exact.
 func (s *Store) AddRecords(recs []capture.Record, workers int) PacketID {
 	frames := make([]traffic.Frame, len(recs))
+	links := make([]uint16, len(recs))
 	for i := range recs {
 		frames[i] = traffic.Frame{TS: recs[i].TS, Data: recs[i].Data}
+		links[i] = recs[i].Link
 	}
-	base := s.AddBatch(frames, workers)
-	// Restore per-record link ids (AddBatch's generator path defaults to 0).
-	for i := range recs {
-		if recs[i].Link != 0 {
-			s.withPacket(base+PacketID(i), func(sp *StoredPacket) { sp.Link = recs[i].Link })
-		}
-	}
-	return base
-}
-
-// withPacket runs fn on the stored packet with the given ID under its
-// shard's write lock, returning false if the ID is unknown.
-func (s *Store) withPacket(id PacketID, fn func(*StoredPacket)) bool {
-	for _, sh := range s.shards {
-		sh.lock()
-		if sp := sh.byID(id); sp != nil {
-			fn(sp)
-			sh.mu.Unlock()
-			return true
-		}
-		sh.mu.Unlock()
-	}
-	return false
+	return s.addBatch(frames, links, workers)
 }
 
 // byID finds the shard-local packet with the given ID. Caller holds at
@@ -613,6 +631,13 @@ func (sh *shard) evictBefore(ts time.Duration) int {
 		sh.dataBytes -= uint64(len(evicted[i].Data))
 	}
 	sh.packets = append([]StoredPacket(nil), sh.packets[cut:]...)
+	// The evicted prefix is also an ID prefix (the slab is co-sorted), so
+	// posting lists trim by the minimum surviving ID.
+	minID := PacketID(1<<64 - 1)
+	if len(sh.packets) > 0 {
+		minID = sh.packets[0].ID
+	}
+	sh.indexBytes -= 8 * uint64(sh.index.evictBelow(minID))
 	// Rebuild flow packet-ID lists lazily: drop flows that ended before ts.
 	// A flow's packets all live in this shard, so the shard-local minimum
 	// surviving ID bounds exactly the IDs this flow may still reference.

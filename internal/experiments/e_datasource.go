@@ -144,20 +144,26 @@ func E7StoreRetention() (*Table, error) {
 	t.AddRow("10Gbps@35% 1 week", fmtBytes(day*7))
 
 	for _, expr := range []string{
+		"proto == udp && dst.port == 53",
 		"dns && dns.qtype == ANY",
 		"ts >= 1s && ts < 2s && udp",
 		"src.ip in 10.0.0.0/8 && len > 1000",
 	} {
-		fl, err := datastore.ParseFilter(expr)
+		fl, err := datastore.ParseFilterCached(expr)
 		if err != nil {
 			return nil, err
 		}
+		path := "scan"
+		if fl.Indexable() {
+			path = "index"
+		}
 		start := time.Now()
 		matches := st.Select(fl, 0)
-		t.AddRow(fmt.Sprintf("query %q", expr), fmt.Sprintf("%d hits in %s", len(matches), fmtDur(time.Since(start))))
+		t.AddRow(fmt.Sprintf("query %q", expr),
+			fmt.Sprintf("%d hits in %s (%s path)", len(matches), fmtDur(time.Since(start)), path))
 	}
 	t.Notes = append(t.Notes,
-		"expected shape: storage grows linearly with retention; a week at campus scale lands in the hundreds-of-TB range the paper prices at 'a few $100K'; indexed time-range queries return in milliseconds")
+		"expected shape: storage grows linearly with retention; a week at campus scale lands in the hundreds-of-TB range the paper prices at 'a few $100K'; index-path queries return in tens of microseconds, scan-path in milliseconds")
 	return t, nil
 }
 

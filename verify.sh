@@ -36,8 +36,12 @@ go test -race -run 'TestConcurrentInstallDuringBatch|TestSwitchPipelineEquivalen
 echo "==> bench smoke (compiled fast path, must stay 0 allocs/op)"
 go test -run=NONE -bench=SwitchProcess -benchtime=100x ./internal/dataplane
 
-echo "==> fuzz smoke (packet parser, labd dispatcher)"
+echo "==> bench smoke (store query engine: index vs scan)"
+go test -run=NONE -bench='BenchmarkSelect$|BenchmarkCount$' -benchtime=5x ./internal/datastore
+
+echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser)"
 go test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/packet
 go test -run=FuzzDispatch -fuzz=FuzzDispatch -fuzztime=5s ./cmd/labd
+go test -run=FuzzParseFilter -fuzz=FuzzParseFilter -fuzztime=5s ./internal/datastore
 
 echo "verify: OK"
