@@ -1,5 +1,5 @@
 // Package campuslab's root benchmarks regenerate every experiment in the
-// reproduction index (DESIGN.md §3): one benchmark per table, E1-E14.
+// reproduction index (DESIGN.md §3): one benchmark per table, E1-E15.
 // Each iteration runs the full experiment; results print the same rows the
 // tables in EXPERIMENTS.md record. Run with:
 //
@@ -46,3 +46,4 @@ func BenchmarkE11_CanaryRollback(b *testing.B)    { runExperiment(b, "E11") }
 func BenchmarkE12_Compile(b *testing.B)           { runExperiment(b, "E12") }
 func BenchmarkE13_MultiTask(b *testing.B)         { runExperiment(b, "E13") }
 func BenchmarkE14_ChaosLoop(b *testing.B)         { runExperiment(b, "E14") }
+func BenchmarkE15_EnsembleFrontier(b *testing.B)  { runExperiment(b, "E15") }

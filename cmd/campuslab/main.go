@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	campuslab experiment all            # run every experiment (E1-E14)
+//	campuslab experiment all            # run every experiment (E1-E15)
 //	campuslab experiment E5 -md        # run one, render markdown
 //	campuslab query -pcap f.pcap -expr 'dns && dns.qtype == ANY' [-limit 20]
 //	campuslab develop                   # run the Figure 2 development loop and print the rules

@@ -24,7 +24,14 @@ type LoopConfig struct {
 	TierModel *TierModel
 	// Program is the compiled in-switch classifier. For TierDataPlane
 	// its attack rules should be drops; for the other tiers alerts/punts.
+	// Optional when Ensemble is set.
 	Program *dataplane.Program
+	// Ensemble, when set, installs a compiled whole-ensemble pipeline as
+	// the switch's classification stage (TierDataPlane ensemble mode): the
+	// forest/boost verdicts themselves run at data-plane latency instead
+	// of only the extracted tree. It takes precedence over Program for
+	// classification; an also-supplied Program stays loaded underneath.
+	Ensemble *dataplane.EnsembleProgram
 	// Model is the off-switch classifier (extracted tree for the control
 	// plane, black-box forest for the cloud). Ignored by TierDataPlane.
 	Model ml.Classifier
@@ -152,8 +159,8 @@ type pendingVerdict struct {
 
 // NewLoop validates cfg and builds the loop.
 func NewLoop(cfg LoopConfig) (*Loop, error) {
-	if cfg.Program == nil {
-		return nil, fmt.Errorf("control: Program is required")
+	if cfg.Program == nil && cfg.Ensemble == nil {
+		return nil, fmt.Errorf("control: a Program or an Ensemble is required")
 	}
 	if cfg.Tier != TierDataPlane && cfg.Model == nil {
 		return nil, fmt.Errorf("control: %v tier requires a Model", cfg.Tier)
@@ -175,8 +182,15 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 		res = *cfg.Resources
 	}
 	sw := dataplane.NewSwitch(res)
-	if err := sw.Load(cfg.Program); err != nil {
-		return nil, err
+	if cfg.Program != nil {
+		if err := sw.Load(cfg.Program); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Ensemble != nil {
+		if err := sw.LoadEnsemble(cfg.Ensemble); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Faults != nil {
 		sw.SetFaultInjector(cfg.Faults)

@@ -41,13 +41,15 @@ func Compile(tree *ml.Tree, schema []string, cfg CompileConfig) (*Program, error
 		drop[c] = true
 	}
 	prog := &Program{Name: cfg.Name, Default: ActionPermit}
+	// Per-feature interval scratch, allocated once per compile (not per
+	// rule) and reset at the top of each iteration.
+	lo := make([]float64, len(schema))
+	hi := make([]float64, len(schema))
 	for _, rule := range tree.Rules() {
 		if rule.Class == 0 {
 			continue // benign leaves fall through to the default permit
 		}
 		// Intersect conditions into per-feature intervals.
-		lo := make([]float64, len(schema))
-		hi := make([]float64, len(schema))
 		for i := range hi {
 			hi[i] = math.Inf(1)
 			lo[i] = math.Inf(-1)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"net/netip"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -80,33 +81,63 @@ func TestRuleMatchAndCost(t *testing.T) {
 	}
 }
 
-// trainPacketTree builds a store with DNS-amp traffic, trains a forest on
-// per-packet features and extracts a compilable tree.
-func trainPacketTree(t testing.TB) (*ml.Tree, *features.Dataset, *datastore.Store) {
+// trainedModels caches the expensive DNS-amp training artifacts: the
+// black-box forest, the extracted tree, the labeled dataset, and the
+// backing store. Everything is treated read-only by the tests that share
+// it.
+var trainedModels struct {
+	once   sync.Once
+	err    error
+	forest *ml.Forest
+	tree   *ml.Tree
+	ds     *features.Dataset
+	st     *datastore.Store
+}
+
+// trainPacketForest builds a store with DNS-amp traffic, trains a forest
+// on per-packet features and extracts a compilable tree. The result is
+// trained once and shared across tests and benchmarks; treat it as
+// immutable.
+func trainPacketForest(t testing.TB) (*ml.Forest, *ml.Tree, *features.Dataset, *datastore.Store) {
 	t.Helper()
-	plan := traffic.DefaultPlan(40)
-	benign := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: 81})
-	amp := traffic.NewAttack(traffic.AttackConfig{
-		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(1),
-		Start: 500 * time.Millisecond, Duration: 3 * time.Second, Rate: 800, Seed: 82,
+	m := &trainedModels
+	m.once.Do(func() {
+		plan := traffic.DefaultPlan(40)
+		benign := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: 81})
+		amp := traffic.NewAttack(traffic.AttackConfig{
+			Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(1),
+			Start: 500 * time.Millisecond, Duration: 3 * time.Second, Rate: 800, Seed: 82,
+		})
+		st := datastore.New()
+		g := traffic.NewMerge(benign, amp)
+		var f traffic.Frame
+		for g.Next(&f) {
+			st.IngestFrame(&f)
+		}
+		ds := features.FromPackets(st, 1.0)
+		bin := ds.BinaryRelabel(traffic.LabelDNSAmp)
+		forest, err := ml.FitForest(bin, 2, ml.ForestConfig{Trees: 20, MaxDepth: 8, Seed: 83})
+		if err != nil {
+			m.err = err
+			return
+		}
+		ex, err := xai.Extract(forest, bin, xai.ExtractConfig{MaxDepth: 4, Seed: 84})
+		if err != nil {
+			m.err = err
+			return
+		}
+		m.forest, m.tree, m.ds, m.st = forest, ex.Tree, bin, st
 	})
-	st := datastore.New()
-	g := traffic.NewMerge(benign, amp)
-	var f traffic.Frame
-	for g.Next(&f) {
-		st.IngestFrame(&f)
+	if m.err != nil {
+		t.Fatal(m.err)
 	}
-	ds := features.FromPackets(st, 1.0)
-	bin := ds.BinaryRelabel(traffic.LabelDNSAmp)
-	forest, err := ml.FitForest(bin, 2, ml.ForestConfig{Trees: 20, MaxDepth: 8, Seed: 83})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ex, err := xai.Extract(forest, bin, xai.ExtractConfig{MaxDepth: 4, Seed: 84})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ex.Tree, bin, st
+	return m.forest, m.tree, m.ds, m.st
+}
+
+// trainPacketTree is the extracted-tree view of trainPacketForest.
+func trainPacketTree(t testing.TB) (*ml.Tree, *features.Dataset, *datastore.Store) {
+	_, tree, ds, st := trainPacketForest(t)
+	return tree, ds, st
 }
 
 func TestCompileAndClassify(t *testing.T) {

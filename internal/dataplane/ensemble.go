@@ -1,0 +1,623 @@
+package dataplane
+
+// Whole-ensemble compilation (Homunculus-style): instead of deploying only
+// the extracted single tree, lower every member tree of an ml.Forest or
+// ml.Boost into its own integer-domain decision DAG and combine their leaf
+// verdicts in a vote stage — mean leaf probabilities + argmax for forests,
+// alpha-weighted leaf-class votes for boosting — reproducing the control
+// plane model's arithmetic operation for operation so verdict classes and
+// confidences are byte-identical to ml.Forest.Predict / ml.Boost.Predict
+// on the matchable schema.
+//
+// The compiler works under an explicit Tofino-ish ResourceBudget (pipeline
+// stages, vote-table entries, DAG nodes, parallel tree pipelines). Over
+// budget it degrades rather than fails: first every tree is depth-capped
+// (pruned internal nodes become leaves voting their fitted class
+// histogram), the cap shrinking until the ensemble fits; if no cap fits,
+// it falls back to compiling the single extracted tree alone. What was
+// used — and which rung of the ladder produced it — is reported in
+// EnsembleUsage and exported as obs gauges at load time.
+//
+// Each compiled program carries two evaluators over the same vote tables:
+// the integer fast path (thresholds floored onto the uint32 field domain,
+// structurally-identical subtrees and identical leaves deduplicated per
+// tree) and a float reference walk of the original thresholds, selected by
+// the same scan-path knob that covers the rule DAG (CAMPUSLAB_SCAN_PATH).
+
+import (
+	"fmt"
+	"math"
+
+	"campuslab/internal/ml"
+)
+
+// MaxEnsembleClasses bounds the vote stage's per-class accumulator, which
+// lives on the eval stack so the hot path stays allocation-free.
+const MaxEnsembleClasses = 8
+
+// ResourceBudget is the hardware envelope an ensemble must compile into —
+// the Tofino-ish constraints the paper assumes for in-network ML. A field
+// <= 0 means unconstrained.
+type ResourceBudget struct {
+	// Stages bounds pipeline depth: the deepest per-tree DAG plus one
+	// vote stage.
+	Stages int
+	// TableEntries bounds the vote tables: one entry per distinct leaf
+	// verdict across all trees.
+	TableEntries int
+	// Nodes bounds total decision-DAG nodes across all trees.
+	Nodes int
+	// Trees bounds the parallel per-tree pipelines.
+	Trees int
+}
+
+// DefaultEnsembleBudget returns a Tofino-flavoured envelope: 12 stages,
+// 4096 vote entries, 8192 DAG nodes, 32 parallel tree pipelines.
+func DefaultEnsembleBudget() ResourceBudget {
+	return ResourceBudget{Stages: 12, TableEntries: 4096, Nodes: 8192, Trees: 32}
+}
+
+// normalized maps unconstrained (<=0) fields to MaxInt so fit checks are
+// plain comparisons.
+func (b ResourceBudget) normalized() ResourceBudget {
+	if b.Stages <= 0 {
+		b.Stages = math.MaxInt
+	}
+	if b.TableEntries <= 0 {
+		b.TableEntries = math.MaxInt
+	}
+	if b.Nodes <= 0 {
+		b.Nodes = math.MaxInt
+	}
+	if b.Trees <= 0 {
+		b.Trees = math.MaxInt
+	}
+	return b
+}
+
+// admits reports whether usage fits the (normalized) budget.
+func (b ResourceBudget) admits(u EnsembleUsage) bool {
+	return u.Trees <= b.Trees && u.Nodes <= b.Nodes &&
+		u.TableEntries <= b.TableEntries && u.Stages <= b.Stages
+}
+
+// EnsembleMode is which rung of the degradation ladder produced the
+// compiled program.
+type EnsembleMode uint8
+
+// Degradation ladder, best to worst.
+const (
+	// EnsembleExact: the full ensemble fit; verdicts are byte-identical
+	// to the control-plane model.
+	EnsembleExact EnsembleMode = iota
+	// EnsemblePruned: every tree was depth-capped to fit the budget.
+	EnsemblePruned
+	// EnsembleFallback: the ensemble could not fit at any depth cap; the
+	// single fallback tree was compiled instead.
+	EnsembleFallback
+)
+
+// String returns the mode name.
+func (m EnsembleMode) String() string {
+	switch m {
+	case EnsembleExact:
+		return "exact"
+	case EnsemblePruned:
+		return "pruned"
+	case EnsembleFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("mode-%d", uint8(m))
+	}
+}
+
+// EnsembleUsage reports what a compiled ensemble consumed of its budget.
+type EnsembleUsage struct {
+	Mode EnsembleMode
+	// PrunedDepth is the applied depth cap (0 = uncapped).
+	PrunedDepth int
+	// Trees/Nodes/TableEntries/Stages are the consumed resources.
+	Trees, Nodes, TableEntries, Stages int
+	// TreeNodes is the per-tree compiled DAG node count.
+	TreeNodes []int
+	// Budget is the normalized envelope the compile was checked against.
+	Budget ResourceBudget
+}
+
+// clone deep-copies the usage so callers never see live internals.
+func (u EnsembleUsage) clone() EnsembleUsage {
+	u.TreeNodes = append([]int(nil), u.TreeNodes...)
+	return u
+}
+
+// EnsembleConfig controls ensemble-to-pipeline compilation. The action
+// mapping mirrors CompileConfig: class 0 permits, DropClasses drop, other
+// classes alert, and verdicts below MinConfidence punt to the control
+// plane instead of acting inline.
+type EnsembleConfig struct {
+	// Name labels the program.
+	Name string
+	// DropClasses lists model classes compiled to ActionDrop.
+	DropClasses []int
+	// MinConfidence converts low-confidence attack verdicts to ActionPunt.
+	MinConfidence float64
+	// Budget is the hardware envelope (zero value = DefaultEnsembleBudget).
+	Budget ResourceBudget
+	// Fallback is the extracted single tree compiled when the ensemble
+	// cannot fit at any depth cap. Nil falls back to the ensemble's first
+	// member tree.
+	Fallback *ml.Tree
+}
+
+// ensKind selects the vote combiner.
+type ensKind uint8
+
+const (
+	ensForest ensKind = iota // mean leaf probabilities, argmax
+	ensBoost                 // alpha-weighted leaf-class votes, argmax
+)
+
+// ensNode is one compiled integer-domain split: val <= cut goes left.
+// Child targets >= 0 are node indices; < 0 encode ^leafRow.
+type ensNode struct {
+	field       Field
+	cut         uint32
+	left, right int32
+}
+
+// refNode is the float reference twin: the original threshold on the
+// original schema column, same ^leafRow leaf encoding into the same vote
+// tables.
+type refNode struct {
+	feature     int32
+	thr         float64
+	left, right int32
+}
+
+// EnsembleProgram is a compiled ensemble pipeline: per-tree DAGs over an
+// immutable shared arena plus the vote tables. Values are immutable after
+// compilation; the switch publishes them RCU-style like rule programs.
+type EnsembleProgram struct {
+	Name    string
+	kind    ensKind
+	classes int
+
+	roots []int32 // per-tree compiled entry: node index or ^leafRow
+	nodes []ensNode
+
+	refRoots []int32
+	refNodes []refNode
+	fields   []Field // schema column -> field, for the reference walk
+
+	// Vote tables. Forest rows are classes-wide probability vectors in
+	// leafProba; boost rows are predicted classes in leafClass with
+	// per-tree alpha weights.
+	leafProba []float64
+	leafClass []int32
+	alphas    []float64
+	alphaSum  float64
+
+	dropClass []bool
+	minConf   float64
+	usage     EnsembleUsage
+}
+
+// Usage returns a copy of the compiled program's resource report.
+func (ep *EnsembleProgram) Usage() EnsembleUsage { return ep.usage.clone() }
+
+// NumClasses returns the vote stage's class count.
+func (ep *EnsembleProgram) NumClasses() int { return ep.classes }
+
+// CompileForestEnsemble lowers a bagged forest into per-tree DAGs plus a
+// mean-probability vote stage. Verdict classes and confidences are
+// byte-identical to f.Predict/f.Proba on the matchable schema whenever the
+// budget admits the exact ensemble; over budget it degrades (prune, then
+// fall back to cfg.Fallback) instead of failing.
+func CompileForestEnsemble(f *ml.Forest, schema []string, cfg EnsembleConfig) (*EnsembleProgram, error) {
+	trees := make([]*ml.Tree, f.NumTrees())
+	for t := range trees {
+		trees[t] = f.Tree(t)
+	}
+	return compileEnsemble(ensForest, trees, nil, f.NumClasses(), schema, cfg)
+}
+
+// CompileBoostEnsemble lowers an AdaBoost ensemble into per-tree DAGs plus
+// an alpha-weighted vote stage, byte-identical to b.Predict/b.Proba under
+// the same budget contract as CompileForestEnsemble.
+func CompileBoostEnsemble(b *ml.Boost, schema []string, cfg EnsembleConfig) (*EnsembleProgram, error) {
+	trees := make([]*ml.Tree, b.NumTrees())
+	alphas := make([]float64, b.NumTrees())
+	for t := range trees {
+		trees[t], alphas[t] = b.Tree(t), b.Alpha(t)
+	}
+	return compileEnsemble(ensBoost, trees, alphas, b.NumClasses(), schema, cfg)
+}
+
+// compileEnsemble runs the degradation ladder: exact, then depth caps
+// descending from one below the deepest tree, then the single fallback
+// tree (itself capped if necessary).
+func compileEnsemble(kind ensKind, trees []*ml.Tree, alphas []float64, classes int, schema []string, cfg EnsembleConfig) (*EnsembleProgram, error) {
+	if classes < 2 || classes > MaxEnsembleClasses {
+		return nil, fmt.Errorf("dataplane: ensemble with %d classes outside [2,%d]", classes, MaxEnsembleClasses)
+	}
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("dataplane: empty ensemble")
+	}
+	fields := make([]Field, len(schema))
+	for i, name := range schema {
+		f, err := FieldByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: schema column %d: %w", i, err)
+		}
+		fields[i] = f
+	}
+	budget := cfg.Budget
+	if budget == (ResourceBudget{}) {
+		budget = DefaultEnsembleBudget()
+	}
+	budget = budget.normalized()
+
+	exported := make([][]ml.ExportedNode, len(trees))
+	maxDepth := 0
+	for t, tr := range trees {
+		exported[t] = tr.Export()
+		if d := tr.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	build := func(exp [][]ml.ExportedNode, aw []float64, cap int, mode EnsembleMode) (*EnsembleProgram, error) {
+		ep, err := lowerEnsemble(kind, exp, aw, classes, fields, cfg, cap)
+		if err != nil {
+			return nil, err
+		}
+		ep.usage.Mode = mode
+		ep.usage.PrunedDepth = cap
+		ep.usage.Budget = budget
+		return ep, nil
+	}
+
+	if len(trees) <= budget.Trees {
+		// Rung 1: exact, then descending depth caps.
+		for cap := 0; ; cap++ {
+			d := 0 // 0 = uncapped
+			if cap > 0 {
+				d = maxDepth - cap
+				if d < 1 {
+					break
+				}
+			}
+			mode := EnsembleExact
+			if cap > 0 {
+				mode = EnsemblePruned
+			}
+			ep, err := build(exported, alphas, d, mode)
+			if err != nil {
+				return nil, err
+			}
+			if budget.admits(ep.usage) {
+				return ep, nil
+			}
+		}
+	}
+
+	// Rung 2: the single fallback tree, compiled as a one-tree mean-vote
+	// ensemble (for one tree that is exactly Tree.Predict), capped if even
+	// it is too deep or too wide.
+	fb := cfg.Fallback
+	if fb == nil {
+		fb = trees[0]
+	}
+	fbExp := [][]ml.ExportedNode{fb.Export()}
+	for cap := 0; ; cap++ {
+		d := 0
+		if cap > 0 {
+			d = fb.Depth() - cap
+			if d < 1 {
+				return nil, fmt.Errorf("dataplane: budget %+v cannot hold even a depth-1 tree", cfg.Budget)
+			}
+		}
+		ep, err := lowerEnsemble(ensForest, fbExp, nil, classes, fields, cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		ep.usage.Mode = EnsembleFallback
+		ep.usage.PrunedDepth = d
+		ep.usage.Budget = budget
+		if budget.admits(ep.usage) {
+			return ep, nil
+		}
+	}
+}
+
+// treeLowering carries one tree's compilation state: per-tree memo tables
+// (each tree is its own physical pipeline, so sharing across trees would
+// not save hardware) and the depth bookkeeping for the stage model.
+type treeLowering struct {
+	ep       *EnsembleProgram
+	exp      []ml.ExportedNode
+	cap      int // depth cap; 0 = none
+	nodeMemo map[ensNode]int32
+	leafMemo map[string]int32
+	depth    int // deepest internal-node level reached (1-based)
+}
+
+// lowerEnsemble compiles every exported tree into the shared arenas.
+func lowerEnsemble(kind ensKind, exported [][]ml.ExportedNode, alphas []float64, classes int, fields []Field, cfg EnsembleConfig, cap int) (*EnsembleProgram, error) {
+	drop := make([]bool, classes)
+	for _, c := range cfg.DropClasses {
+		if c >= 0 && c < classes {
+			drop[c] = true
+		}
+	}
+	ep := &EnsembleProgram{
+		Name:      cfg.Name,
+		kind:      kind,
+		classes:   classes,
+		fields:    fields,
+		dropClass: drop,
+		minConf:   cfg.MinConfidence,
+	}
+	if kind == ensBoost {
+		ep.alphas = append([]float64(nil), alphas...)
+		// Same summation order as Boost.Proba accumulates total.
+		for _, a := range ep.alphas {
+			ep.alphaSum += a
+		}
+	}
+	ep.usage.Trees = len(exported)
+	ep.usage.TreeNodes = make([]int, len(exported))
+	maxDepth := 0
+	for t, exp := range exported {
+		lw := &treeLowering{
+			ep: ep, exp: exp, cap: cap,
+			nodeMemo: make(map[ensNode]int32),
+			leafMemo: make(map[string]int32),
+		}
+		nodesBefore := len(ep.nodes)
+		ci, ri, err := lw.lower(0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: tree %d: %w", t, err)
+		}
+		ep.roots = append(ep.roots, ci)
+		ep.refRoots = append(ep.refRoots, ri)
+		ep.usage.TreeNodes[t] = len(ep.nodes) - nodesBefore
+		if lw.depth > maxDepth {
+			maxDepth = lw.depth
+		}
+	}
+	ep.usage.Nodes = len(ep.nodes)
+	if ep.kind == ensBoost {
+		ep.usage.TableEntries = len(ep.leafClass)
+	} else {
+		ep.usage.TableEntries = len(ep.leafProba) / classes
+	}
+	ep.usage.Stages = maxDepth + 1 // per-tree match levels + the vote stage
+	return ep, nil
+}
+
+// lower compiles the subtree at exported index i, returning the compiled
+// and reference entries (node index or ^leafRow). depth is the level of
+// node i (root = 0).
+func (lw *treeLowering) lower(i, depth int) (int32, int32, error) {
+	ep := lw.ep
+	n := &lw.exp[i]
+	if n.Feature < 0 || (lw.cap > 0 && depth >= lw.cap) {
+		row, err := lw.leafRow(n)
+		if err != nil {
+			return 0, 0, err
+		}
+		return ^row, ^row, nil
+	}
+	if n.Feature >= len(ep.fields) {
+		return 0, 0, fmt.Errorf("split on feature %d outside schema (%d columns)", n.Feature, len(ep.fields))
+	}
+	li, lr, err := lw.lower(n.Left, depth+1)
+	if err != nil {
+		return 0, 0, err
+	}
+	ri, rr, err := lw.lower(n.Right, depth+1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if depth+1 > lw.depth {
+		lw.depth = depth + 1
+	}
+	refIdx := int32(len(ep.refNodes))
+	ep.refNodes = append(ep.refNodes, refNode{
+		feature: int32(n.Feature), thr: n.Threshold, left: lr, right: rr,
+	})
+
+	// Integerize the threshold onto the uint32 field domain: for integer
+	// v, v <= thr iff v <= floor(thr). Thresholds outside the domain make
+	// the split constant and the node disappears from the fast path.
+	var ci int32
+	switch {
+	case n.Threshold < 0:
+		ci = ri // no uint32 is <= a negative threshold
+	case n.Threshold >= math.MaxUint32:
+		ci = li // every uint32 satisfies it
+	case li == ri:
+		ci = li // both branches agree: the test is dead
+	default:
+		node := ensNode{
+			field: ep.fields[n.Feature],
+			cut:   uint32(math.Floor(n.Threshold)),
+			left:  li, right: ri,
+		}
+		if idx, ok := lw.nodeMemo[node]; ok {
+			ci = idx
+		} else {
+			ci = int32(len(ep.nodes))
+			ep.nodes = append(ep.nodes, node)
+			lw.nodeMemo[node] = ci
+		}
+	}
+	return ci, refIdx, nil
+}
+
+// leafRow interns the vote-table row for a (possibly pruned-internal) node:
+// the exact probability vector Tree.Proba computes for forests, the exact
+// argmax class Tree.Predict computes for boosting. Identical rows within a
+// tree share one table entry.
+func (lw *treeLowering) leafRow(n *ml.ExportedNode) (int32, error) {
+	ep := lw.ep
+	if len(n.Counts) != ep.classes {
+		return 0, fmt.Errorf("leaf histogram has %d classes, ensemble has %d", len(n.Counts), ep.classes)
+	}
+	if ep.kind == ensBoost {
+		// Tree.Predict's argmax: first strictly-greater count wins.
+		best, bestC := 0, math.Inf(-1)
+		for c, v := range n.Counts {
+			if v > bestC {
+				best, bestC = c, v
+			}
+		}
+		key := string(rune(best))
+		if row, ok := lw.leafMemo[key]; ok {
+			return row, nil
+		}
+		row := int32(len(ep.leafClass))
+		ep.leafClass = append(ep.leafClass, int32(best))
+		lw.leafMemo[key] = row
+		return row, nil
+	}
+	// Forest leaf: Tree.Proba's counts/total division, precomputed once.
+	proba := make([]float64, ep.classes)
+	if n.Total > 0 {
+		for c, v := range n.Counts {
+			proba[c] = v / n.Total
+		}
+	}
+	var key []byte
+	for _, p := range proba {
+		bits := math.Float64bits(p)
+		key = append(key, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	if row, ok := lw.leafMemo[string(key)]; ok {
+		return row, nil
+	}
+	row := int32(len(ep.leafProba) / ep.classes)
+	ep.leafProba = append(ep.leafProba, proba...)
+	lw.leafMemo[string(key)] = row
+	return row, nil
+}
+
+// evalCompiled is the ensemble fast path: walk every per-tree integer DAG,
+// combine in the vote stage, map the winning class to an action. It never
+// allocates; the accumulator lives on the stack.
+func (ep *EnsembleProgram) evalCompiled(fv *FieldVector) Verdict {
+	var acc [MaxEnsembleClasses]float64
+	if ep.kind == ensBoost {
+		for i, root := range ep.roots {
+			t := root
+			for t >= 0 {
+				n := &ep.nodes[t]
+				if fv.vals[n.field] <= n.cut {
+					t = n.left
+				} else {
+					t = n.right
+				}
+			}
+			acc[ep.leafClass[^t]] += ep.alphas[i]
+		}
+		return ep.vote(&acc, ep.alphaSum)
+	}
+	for _, root := range ep.roots {
+		t := root
+		for t >= 0 {
+			n := &ep.nodes[t]
+			if fv.vals[n.field] <= n.cut {
+				t = n.left
+			} else {
+				t = n.right
+			}
+		}
+		row := int(^t) * ep.classes
+		for c := 0; c < ep.classes; c++ {
+			acc[c] += ep.leafProba[row+c]
+		}
+	}
+	return ep.vote(&acc, float64(len(ep.roots)))
+}
+
+// evalRef is the reference twin: the float walk of the original (possibly
+// depth-capped) trees feeding the same vote tables — what the compiled
+// path is property-tested against, reachable via the scan-path knob.
+func (ep *EnsembleProgram) evalRef(fv *FieldVector) Verdict {
+	var acc [MaxEnsembleClasses]float64
+	if ep.kind == ensBoost {
+		for i, root := range ep.refRoots {
+			t := root
+			for t >= 0 {
+				n := &ep.refNodes[t]
+				if float64(fv.vals[ep.fields[n.feature]]) <= n.thr {
+					t = n.left
+				} else {
+					t = n.right
+				}
+			}
+			acc[ep.leafClass[^t]] += ep.alphas[i]
+		}
+		return ep.vote(&acc, ep.alphaSum)
+	}
+	for _, root := range ep.refRoots {
+		t := root
+		for t >= 0 {
+			n := &ep.refNodes[t]
+			if float64(fv.vals[ep.fields[n.feature]]) <= n.thr {
+				t = n.left
+			} else {
+				t = n.right
+			}
+		}
+		row := int(^t) * ep.classes
+		for c := 0; c < ep.classes; c++ {
+			acc[c] += ep.leafProba[row+c]
+		}
+	}
+	return ep.vote(&acc, float64(len(ep.refRoots)))
+}
+
+// vote normalizes the accumulated scores and maps the argmax class to a
+// verdict. The argmax replicates ml's "first strictly greater wins", and
+// the per-class division happens before the comparison exactly as
+// Forest.Proba/Boost.Proba divide before Predict's scan — confidences are
+// the same float64s the control-plane model reports.
+func (ep *EnsembleProgram) vote(acc *[MaxEnsembleClasses]float64, norm float64) Verdict {
+	best, bestV := 0, math.Inf(-1)
+	for c := 0; c < ep.classes; c++ {
+		v := acc[c] / norm
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	if best == 0 {
+		// Benign is the pipeline default, as with compiled rule programs.
+		return Verdict{Action: ActionPermit, RuleIndex: -1, Confidence: bestV}
+	}
+	action := ActionAlert
+	if ep.dropClass[best] {
+		action = ActionDrop
+	}
+	if bestV < ep.minConf {
+		action = ActionPunt
+	}
+	return Verdict{Action: action, Class: best, Confidence: bestV, RuleIndex: -1}
+}
+
+// ensembleState is the published form inside pipelineState: the immutable
+// program plus which evaluator the scan knob selected.
+type ensembleState struct {
+	ep   *EnsembleProgram
+	scan bool
+}
+
+// eval dispatches one field vector to the selected evaluator.
+func (es *ensembleState) eval(fv *FieldVector) Verdict {
+	if es.scan {
+		return es.ep.evalRef(fv)
+	}
+	return es.ep.evalCompiled(fv)
+}

@@ -627,6 +627,116 @@ func TestConcurrentInstallDuringBatch(t *testing.T) {
 	}
 }
 
+// TestConcurrentEnsembleInstallDuringBatch churns ensemble loads/unloads
+// and filter installs underneath running batches and classify/commit
+// cycles; correctness is "the race detector stays silent and counters
+// stay coherent" — the RCU publish contract extended to the ensemble
+// stage.
+func TestConcurrentEnsembleInstallDuringBatch(t *testing.T) {
+	forest, tree, _, _ := trainPacketForest(t)
+	epFull, err := CompileForestEnsemble(forest, features.PacketSchema, EnsembleConfig{DropClasses: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epSmall, err := CompileForestEnsemble(forest, features.PacketSchema, EnsembleConfig{
+		DropClasses: []int{1}, Budget: ResourceBudget{Trees: 2}, Fallback: tree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(420))
+	pool := testAddrPool()
+	sw := NewSwitch(DefaultResources())
+	if err := sw.Load(randDisjointProgram(rng, 8)); err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]packet.Summary, 256)
+	for i := range sums {
+		sums[i] = randTestSummary(rng, pool)
+	}
+	ptrs := make([]*packet.Summary, len(sums))
+	for i := range sums {
+		ptrs[i] = &sums[i]
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // ensemble churn: full <-> degraded <-> none, plus knob flips
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				_ = sw.LoadEnsemble(epFull)
+			case 1:
+				_ = sw.LoadEnsemble(epSmall)
+			case 2:
+				sw.UnloadEnsemble()
+			default:
+				sw.SetScanOnly(i%8 == 3)
+			}
+			if u, ok := sw.EnsembleInfo(); ok && u.Trees == 0 {
+				t.Error("EnsembleInfo saw an empty installed ensemble")
+				return
+			}
+		}
+	}()
+	go func() { // filter churn
+		defer wg.Done()
+		r := rand.New(rand.NewSource(421))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := randFilterKey(r, pool)
+			if i%3 == 0 {
+				sw.RemoveFilter(k)
+			} else {
+				_ = sw.InstallFilter(k, ActionDrop)
+			}
+		}
+	}()
+
+	out := make([]Verdict, len(sums))
+	var committed uint64
+	for iter := 0; iter < 50; iter++ {
+		_ = sw.ProcessBatchAt(nil, sums, out[:0])
+		committed += uint64(len(sums))
+		if gen, ok := sw.ClassifyBatch(ptrs, out); ok {
+			for i := range ptrs {
+				if sw.StateGen() != gen {
+					sw.ProcessAt(0, ptrs[i])
+				} else {
+					sw.CommitVerdict(out[i])
+				}
+				committed++
+			}
+		} else {
+			for i := range ptrs {
+				sw.ProcessAt(0, ptrs[i])
+				committed++
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := sw.Stats()
+	if st.Processed != committed {
+		t.Fatalf("processed %d != committed %d", st.Processed, committed)
+	}
+	if st.Permitted+st.Dropped+st.Alerted+st.Punted != st.Processed {
+		t.Fatalf("action counters do not sum under concurrency: %+v", st)
+	}
+}
+
 // --- benchmarks -----------------------------------------------------------
 
 // synthProgram emits nRules disjoint attack-signature rules shaped like
@@ -715,6 +825,80 @@ func BenchmarkSwitchProcessPaths(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkEnsembleInference compares per-packet inference cost across the
+// deployment frontier on the same trained forest: the whole ensemble
+// compiled into the data plane (roomy and tight budgets), the extracted
+// single tree as a compiled rule DAG, and the control plane's
+// ml.PredictBatch. ns/op is per 256-packet batch; divide by 256 for
+// per-packet cost.
+func BenchmarkEnsembleInference(b *testing.B) {
+	forest, tree, _, _ := trainPacketForest(b)
+	rng := rand.New(rand.NewSource(9))
+	pool := testAddrPool()
+	const batch = 256
+	sums := make([]packet.Summary, batch)
+	X := make([][]float64, batch)
+	for i := range sums {
+		sums[i] = randTestSummary(rng, pool)
+		var fv FieldVector
+		fv.FromSummary(&sums[i])
+		x := make([]float64, len(features.PacketSchema))
+		for j := range features.PacketSchema {
+			f, _ := FieldByName(features.PacketSchema[j])
+			x[j] = float64(fv.Get(f))
+		}
+		X[i] = x
+	}
+
+	benchEnsemble := func(b *testing.B, budget ResourceBudget) {
+		ep, err := CompileForestEnsemble(forest, features.PacketSchema, EnsembleConfig{
+			DropClasses: []int{1}, Budget: budget, Fallback: tree,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := ep.Usage()
+		b.Logf("mode=%v trees=%d nodes=%d entries=%d stages=%d", u.Mode, u.Trees, u.Nodes, u.TableEntries, u.Stages)
+		sw := NewSwitch(DefaultResources())
+		if err := sw.LoadEnsemble(ep); err != nil {
+			b.Fatal(err)
+		}
+		out := make([]Verdict, 0, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = sw.ProcessBatchAt(nil, sums, out[:0])
+		}
+	}
+	b.Run("ensemble-dag/budget=roomy", func(b *testing.B) { benchEnsemble(b, ResourceBudget{}) })
+	b.Run("ensemble-dag/budget=tight", func(b *testing.B) { benchEnsemble(b, ResourceBudget{Nodes: 40}) })
+
+	b.Run("extracted-tree-dag", func(b *testing.B) {
+		prog, err := Compile(tree, features.PacketSchema, CompileConfig{DropClasses: []int{1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw := NewSwitch(DefaultResources())
+		if err := sw.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		out := make([]Verdict, 0, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = sw.ProcessBatchAt(nil, sums, out[:0])
+		}
+	})
+
+	b.Run("controlplane-predictbatch", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = forest.PredictBatch(X, 1)
+		}
+	})
 }
 
 // BenchmarkSwitchProcessBatch measures the batched entry point; ns/op is

@@ -58,15 +58,49 @@ var (
 	obsRemoves        = obs.Default.Counter("campuslab_dataplane_removes_total")
 	obsBatchesDag     = obs.Default.Counter("campuslab_dataplane_batches_total", "path", "dag")
 	obsBatchesScan    = obs.Default.Counter("campuslab_dataplane_batches_total", "path", "scan")
+	obsBatchesEns     = obs.Default.Counter("campuslab_dataplane_batches_total", "path", "ensemble")
 	obsBatchSize      = obs.Default.Histogram("campuslab_dataplane_batch_size",
 		[]float64{16, 64, 256, 1024})
 )
 
+// Ensemble load accounting: one counter per degradation-ladder rung, plus
+// gauges reporting what the installed ensemble consumed of its hardware
+// budget — the operator-visible face of the compile-time admission.
+var (
+	obsEnsLoadExact    = obs.Default.Counter("campuslab_dataplane_ensemble_loads_total", "mode", "exact")
+	obsEnsLoadPruned   = obs.Default.Counter("campuslab_dataplane_ensemble_loads_total", "mode", "pruned")
+	obsEnsLoadFallback = obs.Default.Counter("campuslab_dataplane_ensemble_loads_total", "mode", "fallback")
+	obsEnsTrees        = obs.Default.Gauge("campuslab_dataplane_ensemble_trees")
+	obsEnsNodes        = obs.Default.Gauge("campuslab_dataplane_ensemble_nodes")
+	obsEnsEntries      = obs.Default.Gauge("campuslab_dataplane_ensemble_table_entries")
+	obsEnsStages       = obs.Default.Gauge("campuslab_dataplane_ensemble_stages")
+)
+
+// countEnsembleLoad records one LoadEnsemble: the ladder rung taken and
+// the resources the published program consumes.
+func countEnsembleLoad(u EnsembleUsage) {
+	switch u.Mode {
+	case EnsemblePruned:
+		obsEnsLoadPruned.Inc()
+	case EnsembleFallback:
+		obsEnsLoadFallback.Inc()
+	default:
+		obsEnsLoadExact.Inc()
+	}
+	obsEnsTrees.Set(float64(u.Trees))
+	obsEnsNodes.Set(float64(u.Nodes))
+	obsEnsEntries.Set(float64(u.TableEntries))
+	obsEnsStages.Set(float64(u.Stages))
+}
+
 // countBatch tallies one classified batch on the path it executed.
 func countBatch(st *pipelineState, n int) {
-	if st.dag != nil {
+	switch {
+	case st.ens != nil:
+		obsBatchesEns.Inc()
+	case st.dag != nil:
 		obsBatchesDag.Inc()
-	} else {
+	default:
 		obsBatchesScan.Inc()
 	}
 	obsBatchSize.Observe(float64(n))

@@ -144,15 +144,24 @@ type pipelineState struct {
 	// mitigation installs, and replaced on Load.
 	perRule []uint64
 
+	// ens is the compiled ensemble pipeline; when set it replaces the
+	// rule program as the classification stage (filters/meters still run
+	// first).
+	ens *ensembleState
+
 	table    map[FilterKey]filterEntry
 	nFilters int
 	nMeters  int
 	shapes   uint8
 }
 
-// evalRules classifies fv against the loaded program (filters already
-// missed). Pure: no counters, no mutation.
+// evalRules classifies fv against the loaded classification stage
+// (filters already missed): the ensemble pipeline when one is installed,
+// else the rule program. Pure: no counters, no mutation.
 func (st *pipelineState) evalRules(fv *FieldVector) Verdict {
+	if st.ens != nil {
+		return st.ens.eval(fv)
+	}
 	if st.dag != nil {
 		return st.dag.eval(fv)
 	}
@@ -309,6 +318,55 @@ func (sw *Switch) Load(prog *Program) error {
 	return nil
 }
 
+// LoadEnsemble installs a compiled ensemble pipeline as the classification
+// stage, replacing any previous ensemble. The program is immutable after
+// compilation, so it is published as-is behind the RCU pointer; a loaded
+// rule program stays installed underneath and resumes if the ensemble is
+// unloaded. Resource admission already happened at compile time against
+// the EnsembleConfig budget; usage is exported as obs gauges here.
+func (sw *Switch) LoadEnsemble(ep *EnsembleProgram) error {
+	defer obs.Default.StartSpan("install")()
+	if ep == nil {
+		return fmt.Errorf("dataplane: nil ensemble program")
+	}
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	sw.mutate(func(next *pipelineState) {
+		next.ens = &ensembleState{ep: ep, scan: sw.scanOnly}
+	})
+	countEnsembleLoad(ep.usage)
+	return nil
+}
+
+// UnloadEnsemble removes the ensemble stage (the rule program, if any,
+// takes over again), reporting whether one was installed.
+func (sw *Switch) UnloadEnsemble() bool {
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	if sw.state.Load().ens == nil {
+		return false
+	}
+	sw.mutate(func(next *pipelineState) { next.ens = nil })
+	return true
+}
+
+// EnsembleLoaded reports whether an ensemble pipeline is installed.
+func (sw *Switch) EnsembleLoaded() bool {
+	return sw.state.Load().ens != nil
+}
+
+// EnsembleInfo returns a copy of the installed ensemble's resource usage
+// (mode, tree/node/entry/stage counts, budget) and whether one is
+// installed. The copy is deep — mutating it never touches the running
+// pipeline.
+func (sw *Switch) EnsembleInfo() (EnsembleUsage, bool) {
+	st := sw.state.Load()
+	if st.ens == nil {
+		return EnsembleUsage{}, false
+	}
+	return st.ens.ep.usage.clone(), true
+}
+
 // cloneProgram deep-copies a program so neither the loader nor Program()
 // callers can mutate the rules the verdict path is executing.
 func cloneProgram(p *Program) *Program {
@@ -343,14 +401,23 @@ func (sw *Switch) SetScanOnly(scan bool) {
 	defer sw.writeMu.Unlock()
 	sw.scanOnly = scan
 	cur := sw.state.Load()
-	if cur.prog == nil || (cur.dag == nil) == scan {
+	progStale := cur.prog != nil && (cur.dag == nil) != scan
+	ensStale := cur.ens != nil && cur.ens.scan != scan
+	if !progStale && !ensStale {
 		return
 	}
 	var dag *compiledProgram
-	if !scan {
+	if progStale && !scan {
 		dag = compileDAG(cur.prog)
 	}
-	sw.mutate(func(next *pipelineState) { next.dag = dag })
+	sw.mutate(func(next *pipelineState) {
+		if progStale {
+			next.dag = dag
+		}
+		if ensStale {
+			next.ens = &ensembleState{ep: next.ens.ep, scan: scan}
+		}
+	})
 }
 
 // StateGen returns the state generation, bumped on every Load, install

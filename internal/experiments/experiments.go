@@ -1,5 +1,5 @@
 // Package experiments contains the reproduction harness: one function per
-// experiment in DESIGN.md's index (E1-E14), each regenerating the
+// experiment in DESIGN.md's index (E1-E15), each regenerating the
 // measurement that substantiates a figure or quantitative claim of the
 // paper. The cmd/campuslab driver prints these tables; bench_test.go wraps
 // them as benchmarks; EXPERIMENTS.md records their output.
@@ -105,6 +105,7 @@ func All() []Runner {
 		{"E12", "tree compile cost vs depth", E12Compile},
 		{"E13", "multi-task suite across tiers", E13MultiTask},
 		{"E14", "chaos road test: mitigation under injected faults", E14ChaosLoop},
+		{"E15", "ensemble-in-dataplane frontier vs resource budgets", E15EnsembleFrontier},
 	}
 }
 

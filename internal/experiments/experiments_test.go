@@ -112,6 +112,50 @@ func TestE6Shape(t *testing.T) {
 	}
 }
 
+func TestE15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb, err := E15EnsembleFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("want 5 rows (3 budgets + tree + controlplane), got %d", len(tb.Rows))
+	}
+	if got := tb.Rows[0][1]; got != "exact" {
+		t.Errorf("roomy budget mode = %q, want exact", got)
+	}
+	// Shrinking the budget must degrade, not fail: each sweep row reports a
+	// valid mode and a parseable accuracy.
+	acc := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[6], "%"), 64)
+		if err != nil {
+			t.Fatalf("accuracy cell %q: %v", row[6], err)
+		}
+		return v
+	}
+	for _, row := range tb.Rows[:3] {
+		switch row[1] {
+		case "exact", "pruned", "fallback":
+		default:
+			t.Errorf("budget row mode = %q", row[1])
+		}
+		if acc(row) < 50 {
+			t.Errorf("ensemble accuracy %v%% under budget %q; degradation should not collapse", acc(row), row[0])
+		}
+	}
+	// The exact ensemble classifies at least as well as the extracted tree
+	// on the same episode (it is the model the tree approximates).
+	if acc(tb.Rows[0]) < acc(tb.Rows[3])-1 {
+		t.Errorf("exact ensemble accuracy %v%% below extracted tree %v%%", acc(tb.Rows[0]), acc(tb.Rows[3]))
+	}
+	// And matches the control-plane forest exactly: same model, same input.
+	if acc(tb.Rows[0]) != acc(tb.Rows[4]) {
+		t.Errorf("exact ensemble accuracy %v%% != control-plane forest %v%%", acc(tb.Rows[0]), acc(tb.Rows[4]))
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := &Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}}
 	tb.AddRow("1", "2")

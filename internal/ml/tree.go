@@ -301,6 +301,35 @@ func (t *Tree) Rules() []Rule {
 	return out
 }
 
+// ExportedNode is one node of a fitted tree in compiler-consumable form:
+// flat indices, the split threshold, and the class histogram the node was
+// fitted on (see Tree.Export). Counts/Total let a consumer reproduce the
+// exact leaf probabilities Proba computes, including for internal nodes —
+// what depth-capped lowering needs.
+type ExportedNode struct {
+	Feature     int     // split feature, -1 for a leaf
+	Threshold   float64 // go left if x[Feature] <= Threshold
+	Left, Right int     // child node indices (valid when Feature >= 0)
+	Counts      []float64
+	Total       float64
+}
+
+// Export returns the tree's nodes flat, root at index 0. Counts slices are
+// copies; mutating the result never affects the tree.
+func (t *Tree) Export() []ExportedNode {
+	out := make([]ExportedNode, len(t.nodes))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		out[i] = ExportedNode{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right,
+			Counts: append([]float64(nil), n.counts...),
+			Total:  n.total,
+		}
+	}
+	return out
+}
+
 // FeatureImportance returns normalized Gini importance per feature.
 func (t *Tree) FeatureImportance() []float64 {
 	imp := make([]float64, t.dims)

@@ -31,17 +31,22 @@ echo "==> go test -race (control, datastore, faults)"
 go test -race ./internal/control ./internal/datastore ./internal/faults
 
 echo "==> go test -race (dataplane fast path: concurrent install vs batch)"
-go test -race -run 'TestConcurrentInstallDuringBatch|TestSwitchPipelineEquivalence|TestProcessBatch|TestClassifyBatch' ./internal/dataplane
+go test -race -run 'TestConcurrentInstallDuringBatch|TestConcurrentEnsembleInstallDuringBatch|TestSwitchPipelineEquivalence|TestProcessBatch|TestClassifyBatch' ./internal/dataplane
+
+echo "==> ensemble budget gate (over budget must degrade, never error)"
+go test -run 'TestEnsembleBudgetDegradation|TestEnsembleHotPathAllocs' ./internal/dataplane
 
 echo "==> bench smoke (compiled fast path, must stay 0 allocs/op)"
 go test -run=NONE -bench=SwitchProcess -benchtime=100x ./internal/dataplane
+go test -run=NONE -bench=BenchmarkEnsembleInference -benchtime=20x ./internal/dataplane
 
 echo "==> bench smoke (store query engine: index vs scan)"
 go test -run=NONE -bench='BenchmarkSelect$|BenchmarkCount$' -benchtime=5x ./internal/datastore
 
-echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser)"
+echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser, ensemble compiler)"
 go test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/packet
 go test -run=FuzzDispatch -fuzz=FuzzDispatch -fuzztime=5s ./cmd/labd
 go test -run=FuzzParseFilter -fuzz=FuzzParseFilter -fuzztime=5s ./internal/datastore
+go test -run=FuzzEnsembleCompile -fuzz=FuzzEnsembleCompile -fuzztime=5s ./internal/dataplane
 
 echo "verify: OK"
