@@ -146,9 +146,10 @@ func cmdQuery(args []string) error {
 	st := datastore.New()
 	var rec capture.Record
 	batch := make([]capture.Record, 0, 4096)
-	flush := func() {
-		st.AddRecords(batch, 0)
+	flush := func() error {
+		_, err := st.AddRecords(batch, 0)
 		batch = batch[:0]
+		return err
 	}
 	for {
 		if err := r.Next(&rec); err != nil {
@@ -156,10 +157,14 @@ func cmdQuery(args []string) error {
 		}
 		batch = append(batch, rec)
 		if len(batch) == cap(batch) {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 	}
-	flush()
+	if err := flush(); err != nil {
+		return err
+	}
 	matches, err := st.SelectExpr(*expr, *limit)
 	if err != nil {
 		return err

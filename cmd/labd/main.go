@@ -41,6 +41,10 @@ import (
 
 	"campuslab/internal/control"
 	"campuslab/internal/core"
+	"campuslab/internal/dataplane"
+	"campuslab/internal/datastore"
+	"campuslab/internal/features"
+	"campuslab/internal/ml"
 	"campuslab/internal/obs"
 	"campuslab/internal/traffic"
 )
@@ -62,11 +66,17 @@ func main() {
 		seed     = flag.Int64("seed", 3, "scenario seed")
 		maxConns = flag.Int("max-conns", 64, "max concurrent client connections (0 = unlimited)")
 		drain    = flag.Duration("drain", 10*time.Second, "grace period for in-flight connections on shutdown")
-		httpAddr = flag.String("http", "", "HTTP diagnostics listen address (/metrics, /debug/pprof, /debug/trace); empty = disabled")
+		httpAddr = flag.String("http", "", "HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof, /debug/trace); empty = disabled")
+		dataDir  = flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = in-memory only")
+		fsyncStr = flag.String("fsync", "interval", "WAL durability policy: always | interval | none (with -data)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(*seed)
+	fsync, err := datastore.ParseFsyncPolicy(*fsyncStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := newServer(daemonConfig{Seed: *seed, DataDir: *dataDir, Fsync: fsync})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,9 +99,35 @@ func main() {
 		}
 		registerStoreGauges(srv.lab)
 		log.Printf("http diagnostics on http://%s/metrics", hln.Addr())
-		go serveHTTP(ctx, hln)
+		go serveHTTP(ctx, hln, srv)
 	}
 	serve(ctx, ln, srv, *drain)
+	if err := srv.drainDurable(); err != nil {
+		log.Printf("final checkpoint: %v", err)
+	}
+}
+
+// drainDurable is the durability half of SIGTERM shutdown: flush unsynced
+// WAL appends, write a final snapshot covering everything acknowledged,
+// and detach the log. A daemon killed mid-drain still loses nothing — the
+// flushed WAL replays on the next boot; the checkpoint just makes that
+// replay empty.
+func (s *server) drainDurable() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	st := s.lab.Store()
+	if err := st.FlushWAL(); err != nil {
+		return fmt.Errorf("wal flush: %w", err)
+	}
+	if err := st.CheckpointDir(s.dataDir); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := st.CloseWAL(); err != nil {
+		return fmt.Errorf("wal close: %w", err)
+	}
+	log.Printf("final snapshot written to %s", s.dataDir)
+	return nil
 }
 
 // serve accepts connections until ctx is cancelled, then drains: no new
@@ -139,9 +175,13 @@ type handler func(s *server, w *bufio.Writer, rest string)
 // server holds the lab state shared across connections. The store and
 // deployment are built once at startup; queries are read-only.
 type server struct {
-	lab      *core.Lab
-	dep      *core.Deployment
-	handlers map[string]handler
+	lab *core.Lab
+	dep *core.Deployment
+	// dataDir is the durable directory ("" = in-memory only).
+	dataDir string
+	// lifecycle is the model state machine /healthz reports.
+	lifecycle *control.Lifecycle
+	handlers  map[string]handler
 	// idle is the per-command read deadline: a connection that stays
 	// silent this long is closed.
 	idle time.Duration
@@ -155,19 +195,48 @@ type server struct {
 	conns map[net.Conn]struct{}
 }
 
-func newServer(seed int64) (*server, error) {
+// daemonConfig parameterizes daemon construction.
+type daemonConfig struct {
+	Seed int64
+	// DataDir enables durable operation: the store is recovered from its
+	// snapshot + WAL and every acked batch is logged ("" = in-memory).
+	DataDir string
+	Fsync   datastore.FsyncPolicy
+}
+
+func newServer(dc daemonConfig) (*server, error) {
+	seed := dc.Seed
 	plan := traffic.DefaultPlan(40)
-	lab, err := core.NewLab(core.Config{Name: "labd", Plan: plan})
+	var st *datastore.Store
+	var recovered bool
+	if dc.DataDir != "" {
+		var rs datastore.RecoveryStats
+		var err error
+		st, rs, err = datastore.Recover(datastore.DurableConfig{Dir: dc.DataDir, Fsync: dc.Fsync})
+		if err != nil {
+			return nil, err
+		}
+		recovered = rs.SnapshotPackets+rs.WALPackets > 0
+		if recovered {
+			log.Printf("recovered %s: %d snapshot + %d replayed packets (torn=%v)",
+				dc.DataDir, rs.SnapshotPackets, rs.WALPackets, rs.Torn)
+		}
+	}
+	lab, err := core.NewLab(core.Config{Name: "labd", Plan: plan, Store: st})
 	if err != nil {
 		return nil, err
 	}
-	benign := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: seed})
-	amp := traffic.NewAttack(traffic.AttackConfig{
-		Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(5),
-		Start: 600 * time.Millisecond, Duration: 3 * time.Second, Rate: 800, Seed: seed + 1,
-	})
-	if _, err := lab.Collect(traffic.NewMerge(benign, amp)); err != nil {
-		return nil, err
+	// A recovered store already holds labeled traffic — develop straight
+	// from it instead of re-collecting the boot scenario on top.
+	if !recovered {
+		benign := traffic.NewCampus(traffic.Profile{Plan: plan, FlowsPerSecond: 60, Duration: 4 * time.Second, Seed: seed})
+		amp := traffic.NewAttack(traffic.AttackConfig{
+			Kind: traffic.LabelDNSAmp, Plan: plan, Victim: plan.Host(5),
+			Start: 600 * time.Millisecond, Duration: 3 * time.Second, Rate: 800, Seed: seed + 1,
+		})
+		if _, err := lab.Collect(traffic.NewMerge(benign, amp)); err != nil {
+			return nil, err
+		}
 	}
 	dep, err := lab.Develop(core.DevelopConfig{Target: traffic.LabelDNSAmp, Seed: seed + 2})
 	if err != nil {
@@ -193,11 +262,17 @@ func newServer(seed int64) (*server, error) {
 	if _, err := loop.Replay(traffic.NewMerge(heldB, heldA)); err != nil {
 		return nil, err
 	}
+	lc, err := newDaemonLifecycle(lab, dep, dc)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
-		lab:   lab,
-		dep:   dep,
-		idle:  2 * time.Minute,
-		conns: make(map[net.Conn]struct{}),
+		lab:       lab,
+		dep:       dep,
+		dataDir:   dc.DataDir,
+		lifecycle: lc,
+		idle:      2 * time.Minute,
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.handlers = map[string]handler{
 		"STATS":   (*server).cmdStats,
@@ -211,6 +286,48 @@ func newServer(seed int64) (*server, error) {
 		s.cmdCounters[name] = obs.Default.Counter("campuslab_labd_commands_total", "cmd", name)
 	}
 	return s, nil
+}
+
+// newDaemonLifecycle wires the model state machine around the deployment:
+// the live bundle is the extracted tree, retrains refit against the
+// store's current labeled traffic, candidates must round-trip and compile
+// before activation, and the last-known-good bundle persists in the data
+// directory (when durable). /healthz reports its state; operators drive
+// Tick from their own drift windows.
+func newDaemonLifecycle(lab *core.Lab, dep *core.Deployment, dc daemonConfig) (*control.Lifecycle, error) {
+	bundle, err := dep.Extraction.Tree.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	window := func() *features.Dataset {
+		return features.FromPackets(lab.Store(), 1.0).BinaryRelabel(traffic.LabelDNSAmp)
+	}
+	lc, err := control.NewLifecycle(control.LifecycleConfig{
+		Dir: dc.DataDir,
+		Retrain: func() ([]byte, error) {
+			tree, err := ml.FitTree(window(), 2, ml.TreeConfig{MaxDepth: 4, Seed: dc.Seed})
+			if err != nil {
+				return nil, err
+			}
+			return tree.MarshalBinary()
+		},
+		Validate: func(b []byte) (bool, error) {
+			tree, err := ml.UnmarshalTree(b)
+			if err != nil {
+				return false, nil // malformed candidate: reject, not fatal
+			}
+			_, err = dataplane.Compile(tree, features.PacketSchema, dataplane.CompileConfig{
+				Name: "labd-candidate", DropClasses: []int{1}, MinConfidence: 0.9,
+			})
+			return err == nil, nil
+		},
+		Activate: func([]byte) (*features.Dataset, error) { return window(), nil },
+	}, bundle, 0)
+	if err != nil {
+		return nil, err
+	}
+	lc.SetClassifier(dep.Extraction.Tree)
+	return lc, nil
 }
 
 // track registers a live connection for shutdown force-close; the returned

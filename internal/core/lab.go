@@ -42,6 +42,10 @@ type Config struct {
 	// GOMAXPROCS). Query results are identical at any shard count; the
 	// knob exists for determinism tests and tuning.
 	Shards int
+	// Store, when non-nil, is adopted instead of creating a fresh store —
+	// the continuous-operation path where labd recovers a durable store
+	// (snapshot ⊕ WAL) before constructing the lab. Shards is ignored.
+	Store *datastore.Store
 }
 
 // Lab is a campus network operated as data source and testbed.
@@ -70,7 +74,11 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Lab{cfg: cfg, store: datastore.NewSharded(cfg.Shards), enforcer: enf}, nil
+	st := cfg.Store
+	if st == nil {
+		st = datastore.NewSharded(cfg.Shards)
+	}
+	return &Lab{cfg: cfg, store: st, enforcer: enf}, nil
 }
 
 // Name returns the campus name.
@@ -84,9 +92,11 @@ func (l *Lab) Store() *datastore.Store { return l.store }
 
 // SaveSnapshot writes the lab's collected data to path crash-safely:
 // checksummed, fsynced, and atomically renamed into place, so a crash
-// mid-save never clobbers the previous snapshot.
+// mid-save never clobbers the previous snapshot. When the store has a WAL
+// attached, the log the snapshot now covers is truncated in the same
+// critical section (see Store.Checkpoint).
 func (l *Lab) SaveSnapshot(path string) error {
-	return l.store.SaveFile(path)
+	return l.store.Checkpoint(path)
 }
 
 // RestoreSnapshot replaces the lab's store with the snapshot at path.
@@ -106,6 +116,10 @@ type CollectStats struct {
 	Frames     uint64
 	Bytes      uint64
 	StoreStats datastore.Stats
+	// Stored / Shed split Frames by the store's admission gate: Stored
+	// frames were acknowledged (and WAL-logged when durability is on);
+	// Shed were dropped as low-priority under overload.
+	Stored, Shed uint64
 }
 
 // collectBatch sizes the ingest batches Collect hands to the sharded
@@ -122,9 +136,12 @@ func (l *Lab) Collect(gen traffic.Generator) (CollectStats, error) {
 	var cs CollectStats
 	var f traffic.Frame
 	batch := make([]traffic.Frame, 0, collectBatch)
-	flush := func() {
-		l.store.AddBatch(batch, l.cfg.Workers)
+	flush := func() error {
+		r, err := l.store.AddBatchAdmit(batch, l.cfg.Workers)
+		cs.Stored += uint64(r.Ingested)
+		cs.Shed += uint64(r.Shed)
 		batch = batch[:0]
+		return err
 	}
 	for gen.Next(&f) {
 		out, err := l.enforcer.Apply(f.Data)
@@ -137,12 +154,18 @@ func (l *Lab) Collect(gen traffic.Generator) (CollectStats, error) {
 		stored.Data = out
 		batch = append(batch, stored)
 		if len(batch) == collectBatch {
-			flush()
+			if err := flush(); err != nil {
+				cs.StoreStats = l.store.Stats()
+				return cs, fmt.Errorf("core: collect: %w", err)
+			}
 		}
 		cs.Frames++
 		cs.Bytes += uint64(len(out))
 	}
-	flush()
+	if err := flush(); err != nil {
+		cs.StoreStats = l.store.Stats()
+		return cs, fmt.Errorf("core: collect: %w", err)
+	}
 	cs.StoreStats = l.store.Stats()
 	return cs, nil
 }

@@ -1,0 +1,360 @@
+package datastore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"campuslab/internal/traffic"
+)
+
+// A durable store couples the in-memory sharded store with a snapshot file
+// and a write-ahead log in one directory:
+//
+//	<dir>/snapshot-<seq>.clds   the newest checkpoint (v2 snapshot format)
+//	<dir>/<seq>.wal             segments holding every acked batch since
+//
+// Recover rebuilds the store as snapshot ⊕ WAL replay; CheckpointDir
+// writes a fresh snapshot and truncates the log. Between checkpoints,
+// every acked AddBatch is WAL-logged before its PacketID is returned, so a
+// hard kill at any instant loses nothing that was acknowledged (under
+// FsyncAlways; weaker policies trade the power-loss window for speed —
+// see FsyncPolicy).
+//
+// The <seq> stamped into the snapshot name is the WAL segment sequence the
+// snapshot covers: the checkpoint's single atomic rename publishes the
+// data and the coverage watermark together, and Recover replays only
+// segments newer than the stamp. Without the stamp, a crash between the
+// snapshot rename and the end of truncation would leave already-covered
+// segments on disk and the next recovery would replay every acked batch
+// since the previous checkpoint twice.
+
+// SnapshotName is the legacy (pre-watermark) checkpoint file name. Recover
+// still reads it — as covering no WAL segment — from directories written
+// before checkpoints were coverage-stamped.
+const SnapshotName = "snapshot.clds"
+
+// snapSuffix ends every checkpoint file name, stamped or legacy.
+const snapSuffix = ".clds"
+
+// snapName formats a coverage-stamped checkpoint name; names sort in
+// coverage order.
+func snapName(covered uint64) string {
+	return fmt.Sprintf("snapshot-%016x%s", covered, snapSuffix)
+}
+
+// parseSnapName inverts snapName; ok=false for legacy and foreign files.
+func parseSnapName(name string) (uint64, bool) {
+	const prefix = "snapshot-"
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), snapSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	covered, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return covered, true
+}
+
+// findSnapshot picks the checkpoint Recover loads: the stamped snapshot
+// with the highest covered sequence wins (an interrupted checkpoint can
+// leave older ones behind); a legacy bare snapshot.clds is used only when
+// no stamped one exists, covering nothing.
+func findSnapshot(dir string) (path string, covered uint64, ok bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, false, err
+	}
+	found := false
+	for _, e := range ents {
+		if c, stamped := parseSnapName(e.Name()); stamped && (!found || c > covered) {
+			covered, found = c, true
+		}
+	}
+	if found {
+		return filepath.Join(dir, snapName(covered)), covered, true, nil
+	}
+	legacy := filepath.Join(dir, SnapshotName)
+	if _, serr := os.Stat(legacy); serr == nil {
+		return legacy, 0, true, nil
+	}
+	return "", 0, false, nil
+}
+
+// DurableConfig parameterizes a durable store directory.
+type DurableConfig struct {
+	// Dir is the durability root (snapshot + WAL segments).
+	Dir string
+	// Fsync is the WAL durability policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// SyncEvery / SegmentBytes: see WALConfig.
+	SyncEvery    int
+	SegmentBytes int64
+	// Shards fixes the recovered store's shard count (0 = auto).
+	Shards int
+	// Workers bounds replay parse fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RecoveryStats reports what Recover rebuilt.
+type RecoveryStats struct {
+	// SnapshotPackets came from the checkpoint (0 when none existed).
+	SnapshotPackets uint64
+	// WALRecords / WALPackets were replayed from the log on top.
+	WALRecords, WALPackets uint64
+	// Torn reports that replay stopped early at a torn tail or corrupt
+	// frame; everything before the stop point was applied.
+	Torn bool
+}
+
+// Recover opens (or initializes) the durable directory: stale snapshot
+// temp files are swept, the newest snapshot is loaded, the WAL is replayed
+// on top — stopping cleanly at a torn tail — and a fresh log segment is
+// attached for new writes. The returned store acknowledges every
+// subsequent batch through the WAL.
+func Recover(cfg DurableConfig) (*Store, RecoveryStats, error) {
+	var rs RecoveryStats
+	if cfg.Dir == "" {
+		return nil, rs, fmt.Errorf("datastore: recover: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, rs, fmt.Errorf("datastore: recover: %w", err)
+	}
+	RemoveStaleTemps(cfg.Dir, "snapshot*"+snapSuffix)
+
+	snapPath, covered, haveSnap, err := findSnapshot(cfg.Dir)
+	if err != nil {
+		return nil, rs, fmt.Errorf("datastore: recover: %w", err)
+	}
+	var st *Store
+	if haveSnap {
+		st, err = LoadFile(snapPath)
+		if err != nil {
+			// SaveFile publishes snapshots atomically, so a corrupt
+			// snapshot is real damage, not a crash artifact: refuse to
+			// guess rather than silently drop checkpointed data.
+			return nil, rs, fmt.Errorf("datastore: recover snapshot: %w", err)
+		}
+		if cfg.Shards > 0 && st.NumShards() != ceilPow2(cfg.Shards) {
+			st = reshard(st, cfg.Shards)
+		}
+		rs.SnapshotPackets = st.Stats().Packets
+	} else {
+		st = NewSharded(cfg.Shards)
+	}
+
+	var walBytes uint64
+	records, clean, err := ReplayWALFrom(cfg.Dir, covered, func(frames []traffic.Frame, links []uint16) {
+		st.addBatch(frames, links, cfg.Workers)
+		rs.WALPackets += uint64(len(frames))
+		for i := range frames {
+			walBytes += uint64(len(frames[i].Data))
+		}
+	})
+	if err != nil {
+		return nil, rs, err
+	}
+	rs.WALRecords = records
+	rs.Torn = !clean
+
+	w, err := OpenWAL(WALConfig{
+		Dir: cfg.Dir, Fsync: cfg.Fsync,
+		SyncEvery: cfg.SyncEvery, SegmentBytes: cfg.SegmentBytes,
+		StartSeq: covered + 1,
+	})
+	if err != nil {
+		return nil, rs, err
+	}
+	// The replayed-but-not-checkpointed records still count as WAL lag:
+	// they are only covered once the next checkpoint lands.
+	w.records = records
+	w.bytes = walBytes
+	st.AttachWAL(w)
+	if !clean {
+		// Seal a torn log immediately: the damaged segment stays on disk
+		// until a checkpoint covers it, and a LATER recovery would stop at
+		// the old tear and discard acked batches appended after it. A
+		// fresh snapshot + truncation makes the recovered prefix the new
+		// ground truth before any new write is acknowledged.
+		if err := st.CheckpointDir(cfg.Dir); err != nil {
+			st.CloseWAL()
+			return nil, rs, fmt.Errorf("datastore: recover: sealing torn wal: %w", err)
+		}
+	}
+	return st, rs, nil
+}
+
+// reshard rebuilds a loaded store under a different shard count by
+// streaming its packets (global order) through a fresh store's ingest.
+func reshard(st *Store, shards int) *Store {
+	out := NewSharded(shards)
+	st.Scan(func(sp *StoredPacket) bool {
+		out.ingest(sp.TS, sp.Link, sp.Data, sp.Label, sp.Actor)
+		return true
+	})
+	s := out
+	s.eventsMu.Lock()
+	st.eventsMu.RLock()
+	s.events = append(s.events, st.events...)
+	s.eventIndexBytes = st.eventIndexBytes
+	st.eventsMu.RUnlock()
+	s.eventsMu.Unlock()
+	return out
+}
+
+// AttachWAL routes every subsequent acked batch through w: the record is
+// durable (per w's fsync policy) before the batch's first PacketID is
+// returned. Attach before concurrent ingest begins.
+func (s *Store) AttachWAL(w *WAL) {
+	s.ingestMu.Lock()
+	s.wal.Store(w)
+	s.ingestMu.Unlock()
+}
+
+// WALStats describes the attached log (zero value when none).
+type WALStats struct {
+	// Attached reports whether a WAL is wired in.
+	Attached bool
+	// Records / Bytes are the appended-but-not-checkpointed backlog —
+	// the "WAL lag" healthz reports: how much replay a crash right now
+	// would cost.
+	Records, Bytes uint64
+	// Segments is the live segment-file count.
+	Segments int
+	// Err is the sticky append/sync failure wedging the log (nil when
+	// healthy). Non-nil means new data is NOT crash-safe.
+	Err error
+}
+
+// WALStats snapshots the attached log's lag and health.
+func (s *Store) WALStats() WALStats {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	w := s.wal.Load()
+	if w == nil {
+		return WALStats{}
+	}
+	return WALStats{
+		Attached: true,
+		Records:  w.records,
+		Bytes:    w.bytes,
+		Segments: w.segments,
+		Err:      w.err,
+	}
+}
+
+// FlushWAL syncs unsynced WAL appends to disk (no-op without a WAL) —
+// the SIGTERM-drain hook.
+func (s *Store) FlushWAL() error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	w := s.wal.Load()
+	if w == nil {
+		return nil
+	}
+	return w.Flush()
+}
+
+// Checkpoint writes a crash-safe snapshot to path and, when a WAL is
+// attached, truncates the log it now covers. Ingest is excluded for the
+// duration (the ingest mutex), so no batch can land in the truncated log
+// without being in the snapshot — the invariant recovery depends on.
+// Without a WAL this is exactly SaveFile.
+//
+// For a durable directory Recover reads, use CheckpointDir instead: it
+// stamps the snapshot with the covered WAL sequence, so a crash between
+// the snapshot rename and the end of truncation cannot make recovery
+// replay covered segments on top of the snapshot that contains them.
+func (s *Store) Checkpoint(path string) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.checkpointLocked(path)
+}
+
+// checkpointLocked is Checkpoint under an already-held ingest mutex.
+func (s *Store) checkpointLocked(path string) error {
+	if err := s.SaveFile(path); err != nil {
+		return err
+	}
+	if w := s.wal.Load(); w != nil {
+		return w.Truncate()
+	}
+	return nil
+}
+
+// CheckpointDir checkpoints into the durable directory layout Recover
+// reads: the snapshot lands under a name embedding the WAL segment
+// sequence it covers (snapName), published together with that watermark
+// by SaveFile's one atomic rename, then the covered log is truncated and
+// older snapshot files are swept. A crash at any point leaves either the
+// previous snapshot plus the full log, or the new snapshot plus only
+// newer segments — never a state where recovery replays a record the
+// loaded snapshot already contains.
+func (s *Store) CheckpointDir(dir string) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	var covered uint64
+	if w := s.wal.Load(); w != nil {
+		// Every record appended so far lives in a segment <= the live
+		// sequence, and the ingest mutex keeps it that way until the
+		// snapshot and truncation are done.
+		covered = w.seq
+	}
+	if err := s.checkpointLocked(filepath.Join(dir, snapName(covered))); err != nil {
+		return err
+	}
+	sweepSnapshots(dir, covered)
+	return nil
+}
+
+// sweepSnapshots removes checkpoint files superseded by the one covering
+// `covered` — best effort: Recover always picks the highest stamp, so a
+// leftover is garbage on disk, not a recovery hazard.
+func sweepSnapshots(dir string, covered uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if c, stamped := parseSnapName(e.Name()); (stamped && c < covered) || e.Name() == SnapshotName {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// CloseWAL flushes and detaches the log (final drain). The store remains
+// usable in-memory; subsequent batches are no longer logged.
+func (s *Store) CloseWAL() error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	w := s.wal.Load()
+	if w == nil {
+		return nil
+	}
+	err := w.Close()
+	s.wal.Store(nil)
+	return err
+}
+
+// RemoveStaleTemps sweeps temp files a killed SaveFile left behind in dir
+// (base+".tmp*" — see SaveFile). Only call on directories this package
+// owns. Returns how many were removed.
+func RemoveStaleTemps(dir, base string) int {
+	matches, err := filepath.Glob(filepath.Join(dir, base+".tmp*"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -132,6 +132,28 @@ type Store struct {
 	// (0 = GOMAXPROCS).
 	scanQuery    atomic.Bool
 	queryWorkers atomic.Int32
+
+	// ingestMu serializes the durability-critical ingest section (WAL
+	// append + shard apply) against Checkpoint, so no batch can land in a
+	// truncated log without being in the snapshot. It is only taken when
+	// a WAL is attached — the lock-free batched path is untouched
+	// otherwise. wal is nil for a purely in-memory store; it is an atomic
+	// pointer so the hot ingest paths pay one load, not a lock, to learn
+	// there is no log.
+	ingestMu sync.Mutex
+	wal      atomic.Pointer[WAL]
+
+	// totPackets/totBytes track live occupancy for the admission gate
+	// (updated per batch and by eviction, never per packet on a hot loop).
+	totPackets atomic.Uint64
+	totBytes   atomic.Uint64
+
+	// admission is the ingest gate config (zero value = disabled);
+	// admissionOn mirrors admission.enabled() so the serial ingest fast
+	// path learns "no gate" from one atomic load instead of the RWMutex.
+	admissionMu sync.RWMutex
+	admission   AdmissionConfig
+	admissionOn atomic.Bool
 }
 
 // ScanQueryEnv, when set to any non-empty value, makes every new Store
@@ -308,31 +330,54 @@ func (sh *shard) apply(it *ingestItem) {
 	}
 }
 
-func (s *Store) ingest(ts time.Duration, link uint16, data []byte, label traffic.Label, actor bool) PacketID {
-	it := ingestItem{link: link, data: data, label: label, actor: actor}
-	p := parserPool.Get().(*packet.FlowParser)
-	_ = p.Parse(data, &it.summary) // ErrNotIP etc: stored with partial summary
-	parserPool.Put(p)
+// ingest lands one frame. A purely in-memory, ungated store takes the
+// lock-free serial fast path; once a WAL is attached or an admission gate
+// is configured, the frame goes through appendBatch so serial ingest has
+// exactly the batched path's semantics — gated, logged before the ack,
+// and refused (not quietly kept in memory) when the log fails.
+func (s *Store) ingest(ts time.Duration, link uint16, data []byte, label traffic.Label, actor bool) (PacketID, error) {
+	if s.wal.Load() == nil && !s.admissionOn.Load() {
+		it := ingestItem{link: link, data: data, label: label, actor: actor}
+		p := parserPool.Get().(*packet.FlowParser)
+		_ = p.Parse(data, &it.summary) // ErrNotIP etc: stored with partial summary
+		parserPool.Put(p)
+		return s.applyItem(&it, ts), nil
+	}
+	r, err := s.appendBatch(
+		[]traffic.Frame{{TS: ts, Data: data, Label: label, Actor: actor}},
+		[]uint16{link}, 1)
+	return r.First, err
+}
+
+// applyItem assigns the ID and timestamp and lands one parsed packet.
+func (s *Store) applyItem(it *ingestItem, ts time.Duration) PacketID {
 	it.id = PacketID(s.nextID.Add(1) - 1)
 	it.ts = s.clampTS(ts)
 	sh := s.shardFor(&it.summary, it.id)
 	sh.lock()
-	sh.apply(&it)
+	sh.apply(it)
 	sh.mu.Unlock()
+	s.totPackets.Add(1)
+	s.totBytes.Add(uint64(len(it.data)))
 	obsIngestPackets.Inc()
 	return it.id
 }
 
 // Ingest parses and stores one frame captured at ts on the given link.
 // Unparseable frames are stored with an empty summary so the "everything
-// seen on the wire" contract holds.
-func (s *Store) Ingest(ts time.Duration, link uint16, data []byte) PacketID {
+// seen on the wire" contract holds. A nil error is the acknowledgment:
+// on a durable store the frame is WAL-logged first and a log failure
+// refuses the frame; on a gated store at capacity the frame is refused
+// with ErrOverloaded (a shed low-priority frame returns nil — dropped by
+// design, like the batched path).
+func (s *Store) Ingest(ts time.Duration, link uint16, data []byte) (PacketID, error) {
 	return s.ingest(ts, link, data, traffic.LabelBenign, false)
 }
 
 // IngestFrame stores a generator frame, registering its ground-truth label
-// at both packet and flow granularity.
-func (s *Store) IngestFrame(f *traffic.Frame) PacketID {
+// at both packet and flow granularity. Acknowledgment semantics are those
+// of Ingest.
+func (s *Store) IngestFrame(f *traffic.Frame) (PacketID, error) {
 	return s.ingest(f.TS, 0, f.Data, f.Label, f.Actor)
 }
 
@@ -340,10 +385,52 @@ func (s *Store) IngestFrame(f *traffic.Frame) PacketID {
 // (0 = GOMAXPROCS), contiguous IDs are assigned up front, and each shard
 // is locked once for its whole slice of the batch — the amortized ingest
 // path for the capture pipeline. Output is identical to calling
-// IngestFrame in order. Returns the ID of the first frame; subsequent
-// frames take consecutive IDs.
-func (s *Store) AddBatch(frames []traffic.Frame, workers int) PacketID {
-	return s.addBatch(frames, nil, workers)
+// IngestFrame in order. Returns the ID of the first stored frame;
+// subsequent frames take consecutive IDs.
+//
+// This is the acknowledged ingest path: when an admission gate is
+// configured the batch may be shed in part (low-priority frames dropped)
+// or refused outright with ErrOverloaded, and when a WAL is attached the
+// batch is durable on disk before AddBatch returns — a nil error IS the
+// durability acknowledgment.
+func (s *Store) AddBatch(frames []traffic.Frame, workers int) (PacketID, error) {
+	r, err := s.AddBatchAdmit(frames, workers)
+	return r.First, err
+}
+
+// AddBatchAdmit is AddBatch with the full admission outcome (stored vs
+// shed counts and the gate posture that applied).
+func (s *Store) AddBatchAdmit(frames []traffic.Frame, workers int) (IngestResult, error) {
+	return s.appendBatch(frames, nil, workers)
+}
+
+// appendBatch is the guarded batched-ingest front door: admission gate,
+// then write-ahead log, then shard apply. The WAL append and the apply sit
+// under ingestMu so a concurrent Checkpoint can never truncate a record
+// whose batch is not yet in the snapshot.
+func (s *Store) appendBatch(frames []traffic.Frame, links []uint16, workers int) (IngestResult, error) {
+	kept, keptLinks, shed, state, err := s.admitBatch(frames, links)
+	r := IngestResult{Shed: shed, State: state}
+	if err != nil {
+		return r, err
+	}
+	if len(kept) == 0 {
+		r.First = PacketID(s.nextID.Load())
+		return r, nil
+	}
+	if w := s.wal.Load(); w != nil {
+		s.ingestMu.Lock()
+		if err := w.Append(kept, keptLinks); err != nil {
+			s.ingestMu.Unlock()
+			return r, err
+		}
+		r.First = s.addBatch(kept, keptLinks, workers)
+		s.ingestMu.Unlock()
+	} else {
+		r.First = s.addBatch(kept, keptLinks, workers)
+	}
+	r.Ingested = len(kept)
+	return r, nil
 }
 
 // addBatch is AddBatch with optional per-frame link ids (nil means link 0
@@ -374,6 +461,12 @@ func (s *Store) addBatch(frames []traffic.Frame, links []uint16, workers int) Pa
 		parserPool.Put(p)
 	})
 	base := PacketID(s.nextID.Add(uint64(n)) - uint64(n))
+	var nbytes uint64
+	for i := range frames {
+		nbytes += uint64(len(frames[i].Data))
+	}
+	s.totPackets.Add(uint64(n))
+	s.totBytes.Add(nbytes)
 	// Timestamp clamp is sequential state; resolve it once, in order.
 	prev := time.Duration(s.lastTS.Load())
 	for i := range items {
@@ -413,14 +506,15 @@ func (s *Store) addBatch(frames []traffic.Frame, links []uint16, workers int) Pa
 // AddRecords stores captured records through the batched path. Records
 // carry no ground-truth labels (they came off the wire, not a generator);
 // per-record link ids flow through ingest so the link index stays exact.
-func (s *Store) AddRecords(recs []capture.Record, workers int) PacketID {
+func (s *Store) AddRecords(recs []capture.Record, workers int) (PacketID, error) {
 	frames := make([]traffic.Frame, len(recs))
 	links := make([]uint16, len(recs))
 	for i := range recs {
 		frames[i] = traffic.Frame{TS: recs[i].TS, Data: recs[i].Data}
 		links[i] = recs[i].Link
 	}
-	return s.addBatch(frames, links, workers)
+	r, err := s.appendBatch(frames, links, workers)
+	return r.First, err
 }
 
 // byID finds the shard-local packet with the given ID. Caller holds at
@@ -613,23 +707,34 @@ func (s *Store) Stats() Stats {
 // trimmed before others.
 func (s *Store) EvictBefore(ts time.Duration) int {
 	total := 0
+	var freed uint64
 	for _, sh := range s.shards {
 		sh.lock()
-		total += sh.evictBefore(ts)
+		n, b := sh.evictBefore(ts)
+		total += n
+		freed += b
 		sh.mu.Unlock()
+	}
+	// Occupancy shrinks with eviction so the admission gate reopens as
+	// retention reclaims space.
+	if total > 0 {
+		s.totPackets.Add(^uint64(total) + 1)
+		s.totBytes.Add(^freed + 1)
 	}
 	return total
 }
 
-func (sh *shard) evictBefore(ts time.Duration) int {
+func (sh *shard) evictBefore(ts time.Duration) (int, uint64) {
 	cut := sort.Search(len(sh.packets), func(i int) bool { return sh.packets[i].TS >= ts })
 	if cut == 0 {
-		return 0
+		return 0, 0
 	}
 	evicted := sh.packets[:cut]
+	var freed uint64
 	for i := range evicted {
-		sh.dataBytes -= uint64(len(evicted[i].Data))
+		freed += uint64(len(evicted[i].Data))
 	}
+	sh.dataBytes -= freed
 	sh.packets = append([]StoredPacket(nil), sh.packets[cut:]...)
 	// The evicted prefix is also an ID prefix (the slab is co-sorted), so
 	// posting lists trim by the minimum surviving ID.
@@ -660,5 +765,5 @@ func (sh *shard) evictBefore(ts time.Duration) int {
 			fm.pktIDs = ids
 		}
 	}
-	return cut
+	return cut, freed
 }

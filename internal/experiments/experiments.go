@@ -106,6 +106,7 @@ func All() []Runner {
 		{"E13", "multi-task suite across tiers", E13MultiTask},
 		{"E14", "chaos road test: mitigation under injected faults", E14ChaosLoop},
 		{"E15", "ensemble-in-dataplane frontier vs resource budgets", E15EnsembleFrontier},
+		{"E16", "chaos soak: crash/restart durability and self-healing lifecycle", E16ChaosSoak},
 	}
 }
 

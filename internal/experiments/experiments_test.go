@@ -188,3 +188,42 @@ func TestFormatters(t *testing.T) {
 		}
 	}
 }
+
+func TestE16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if raceEnabled {
+		t.Skip("full-soak duplicate; E16 is race-covered by TestAllExperimentsRun/E16")
+	}
+	tb, err := E16ChaosSoak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 crash epochs + 8 lifecycle ticks + arc verdict + determinism verdict.
+	if len(tb.Rows) != 16 {
+		t.Fatalf("want 16 rows, got %d", len(tb.Rows))
+	}
+	var rollback, reject, promote bool
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "durability":
+			if !strings.HasPrefix(row[6], "PASS") {
+				t.Errorf("crash epoch %s: %s", row[1], row[6])
+			}
+		case "lifecycle":
+			out := row[6]
+			rollback = rollback || strings.Contains(out, "rolled back")
+			reject = reject || strings.Contains(out, "rejected by canary")
+			promote = promote || strings.Contains(out, "promoted")
+			if row[1] == "self-healing arc" || row[1] == "determinism" {
+				if !strings.HasPrefix(out, "PASS") {
+					t.Errorf("%s: %s", row[1], out)
+				}
+			}
+		}
+	}
+	if !rollback || !reject || !promote {
+		t.Errorf("lifecycle arc incomplete: rollback=%v reject=%v promote=%v", rollback, reject, promote)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with -race; the slowest
+// duplicate-coverage tests use it to keep the package inside the default
+// 10-minute test timeout under the race detector's ~10x slowdown.
+const raceEnabled = true

@@ -46,6 +46,35 @@ func BenchmarkStoreIngest(b *testing.B) {
 			b.ReportMetric(float64(len(frames)), "pkts")
 		})
 	}
+	// The durability axis: the same ingest through a write-ahead log under
+	// each fsync policy, against the no-WAL rows above. "none" isolates
+	// the framing/CRC cost, "interval" is the deployed default, "always"
+	// is the per-batch-fsync worst case.
+	for _, pol := range []datastore.FsyncPolicy{
+		datastore.FsyncNone, datastore.FsyncInterval, datastore.FsyncAlways,
+	} {
+		b.Run(fmt.Sprintf("wal=%v", pol), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(framesBytes(frames)))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, _, err := datastore.Recover(datastore.DurableConfig{
+					Dir: b.TempDir(), Fsync: pol, Shards: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := st.AddBatch(frames, 4); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st.CloseWAL()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(frames)), "pkts")
+		})
+	}
 }
 
 func BenchmarkFromFlows(b *testing.B) {

@@ -43,10 +43,20 @@ go test -run=NONE -bench=BenchmarkEnsembleInference -benchtime=20x ./internal/da
 echo "==> bench smoke (store query engine: index vs scan)"
 go test -run=NONE -bench='BenchmarkSelect$|BenchmarkCount$' -benchtime=5x ./internal/datastore
 
-echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser, ensemble compiler)"
+echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser, ensemble compiler, WAL replay)"
 go test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/packet
 go test -run=FuzzDispatch -fuzz=FuzzDispatch -fuzztime=5s ./cmd/labd
 go test -run=FuzzParseFilter -fuzz=FuzzParseFilter -fuzztime=5s ./internal/datastore
 go test -run=FuzzEnsembleCompile -fuzz=FuzzEnsembleCompile -fuzztime=5s ./internal/dataplane
+go test -run=FuzzWALReplay -fuzz=FuzzWALReplay -fuzztime=5s ./internal/datastore
+
+echo "==> crash-recovery gate (kill -9 mid-ingest must lose nothing acked)"
+go test -run 'TestWALCrashKill9|TestRecoverTornThenCrashAgain|TestConcurrentIngestCheckpointQuery' ./internal/datastore
+
+echo "==> chaos-soak smoke (E16: durability + self-healing lifecycle)"
+go test -run 'TestAllExperimentsRun/E16' ./internal/experiments
+
+echo "==> bench smoke (crash-to-ready recovery time)"
+go test -run=NONE -bench=BenchmarkWALRecovery -benchtime=5x ./internal/datastore
 
 echo "verify: OK"
