@@ -26,6 +26,9 @@ func registerStoreGauges(lab *core.Lab) {
 		e.Gauge("campuslab_labd_store_data_bytes", float64(st.DataBytes))
 		e.Gauge("campuslab_labd_store_index_bytes", float64(st.IndexBytes))
 		e.Gauge("campuslab_labd_store_span_seconds", st.Span.Seconds())
+		e.Gauge("campuslab_labd_store_cold_packets", float64(st.ColdPackets))
+		e.Gauge("campuslab_labd_store_cold_bytes", float64(st.ColdBytes))
+		e.Gauge("campuslab_labd_store_segments", float64(st.Segments))
 	})
 }
 
@@ -44,6 +47,14 @@ type healthz struct {
 		Segments int    `json:"segments"`
 		Error    string `json:"error,omitempty"`
 	} `json:"wal"`
+	Tier struct {
+		Enabled     bool   `json:"enabled"`
+		Segments    int    `json:"segments"`
+		ColdPackets uint64 `json:"cold_packets"`
+		ColdBytes   uint64 `json:"cold_bytes"`
+		Corrupt     uint64 `json:"corrupt_segments,omitempty"`
+		Error       string `json:"error,omitempty"`
+	} `json:"tier"`
 	StorePackets uint64 `json:"store_packets"`
 }
 
@@ -63,6 +74,21 @@ func (s *server) health() healthz {
 	if ws.Err != nil {
 		h.WAL.Error = ws.Err.Error()
 		h.Status = "critical"
+	}
+	// Cold-tier health: a sticky segment error means some history is
+	// unreadable — queries still serve everything else, so this degrades
+	// rather than criticals.
+	ts := s.lab.Store().TierStats()
+	h.Tier.Enabled = ts.Enabled
+	h.Tier.Segments = ts.Segments
+	h.Tier.ColdPackets = ts.ColdPackets
+	h.Tier.ColdBytes = ts.ColdBytes
+	h.Tier.Corrupt = ts.CorruptSegments
+	if ts.Err != nil {
+		h.Tier.Error = ts.Err.Error()
+		if h.Status == "ok" {
+			h.Status = "degraded"
+		}
 	}
 	h.StorePackets = s.lab.Store().Stats().Packets
 	return h

@@ -69,6 +69,9 @@ func main() {
 		httpAddr = flag.String("http", "", "HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof, /debug/trace); empty = disabled")
 		dataDir  = flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = in-memory only")
 		fsyncStr = flag.String("fsync", "interval", "WAL durability policy: always | interval | none (with -data)")
+		tierDir  = flag.String("tier-dir", "", "cold-tier segment directory; empty = hot tier only")
+		tierHot  = flag.Uint64("tier-hot", 500_000, "hot-tier packet cap before history seals to cold segments (with -tier-dir)")
+		tierComp = flag.Duration("tier-compact", time.Minute, "cold-tier compaction sweep interval, 0 = disabled (with -tier-dir)")
 	)
 	flag.Parse()
 
@@ -76,9 +79,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := newServer(daemonConfig{Seed: *seed, DataDir: *dataDir, Fsync: fsync})
+	srv, err := newServer(daemonConfig{
+		Seed: *seed, DataDir: *dataDir, Fsync: fsync,
+		Tier: datastore.TierPolicy{Dir: *tierDir, HotPackets: *tierHot},
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tierDir != "" && *tierComp > 0 {
+		stop := srv.lab.Store().StartTierCompactor(*tierComp)
+		defer stop()
 	}
 	if *maxConns > 0 {
 		srv.sem = make(chan struct{}, *maxConns)
@@ -202,6 +212,9 @@ type daemonConfig struct {
 	// snapshot + WAL and every acked batch is logged ("" = in-memory).
 	DataDir string
 	Fsync   datastore.FsyncPolicy
+	// Tier enables the cold tier: history past Tier.HotPackets seals into
+	// compressed columnar segments under Tier.Dir (empty Dir = hot only).
+	Tier datastore.TierPolicy
 }
 
 func newServer(dc daemonConfig) (*server, error) {
@@ -212,7 +225,7 @@ func newServer(dc daemonConfig) (*server, error) {
 	if dc.DataDir != "" {
 		var rs datastore.RecoveryStats
 		var err error
-		st, rs, err = datastore.Recover(datastore.DurableConfig{Dir: dc.DataDir, Fsync: dc.Fsync})
+		st, rs, err = datastore.Recover(datastore.DurableConfig{Dir: dc.DataDir, Fsync: dc.Fsync, Tier: dc.Tier})
 		if err != nil {
 			return nil, err
 		}
@@ -220,6 +233,16 @@ func newServer(dc daemonConfig) (*server, error) {
 		if recovered {
 			log.Printf("recovered %s: %d snapshot + %d replayed packets (torn=%v)",
 				dc.DataDir, rs.SnapshotPackets, rs.WALPackets, rs.Torn)
+		}
+	} else if dc.Tier.Dir != "" {
+		st = datastore.NewSharded(0)
+		if err := st.EnableTiering(dc.Tier); err != nil {
+			return nil, err
+		}
+	}
+	if dc.Tier.Dir != "" {
+		if ts := st.TierStats(); ts.Segments > 0 {
+			log.Printf("cold tier %s: %d segments, %d packets", dc.Tier.Dir, ts.Segments, ts.ColdPackets)
 		}
 	}
 	lab, err := core.NewLab(core.Config{Name: "labd", Plan: plan, Store: st})
@@ -418,8 +441,13 @@ func (s *server) dispatch(w *bufio.Writer, cmd, rest string) {
 
 func (s *server) cmdStats(w *bufio.Writer, _ string) {
 	st := s.lab.Store().Stats()
-	fmt.Fprintf(w, "packets=%d flows=%d events=%d data_bytes=%d index_bytes=%d span=%v\n",
+	fmt.Fprintf(w, "packets=%d flows=%d events=%d data_bytes=%d index_bytes=%d span=%v",
 		st.Packets, st.Flows, st.Events, st.DataBytes, st.IndexBytes, st.Span.Round(time.Millisecond))
+	if st.Segments > 0 || st.ColdPackets > 0 {
+		fmt.Fprintf(w, " cold_packets=%d cold_bytes=%d segments=%d",
+			st.ColdPackets, st.ColdBytes, st.Segments)
+	}
+	fmt.Fprintln(w)
 }
 
 func (s *server) cmdQuery(w *bufio.Writer, rest string) {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -545,5 +546,51 @@ func TestLabdDurableLifecycle(t *testing.T) {
 	h2 := srv2.health()
 	if h2.WAL.Records != 0 {
 		t.Fatalf("clean recovery reports WAL lag: %+v", h2.WAL)
+	}
+}
+
+// TestLabdTieredLifecycle boots a tiered durable daemon with a hot cap far
+// below the boot scenario, so the collect itself spills history into cold
+// segments; health, STATS and a reboot must all see the cold tier.
+func TestLabdTieredLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	dc := daemonConfig{
+		Seed: 3, DataDir: dir, Fsync: datastore.FsyncAlways,
+		Tier: datastore.TierPolicy{Dir: filepath.Join(dir, "tier"), HotPackets: 2000},
+	}
+	srv, err := newServer(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.health()
+	if !h.Tier.Enabled || h.Tier.Segments == 0 || h.Tier.ColdPackets == 0 {
+		t.Fatalf("boot scenario did not spill to cold tier: %+v", h.Tier)
+	}
+	if h.Status != "ok" || h.Tier.Error != "" {
+		t.Fatalf("health = %+v", h)
+	}
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	srv.cmdStats(w, "")
+	w.Flush()
+	if !strings.Contains(sb.String(), "cold_packets=") || !strings.Contains(sb.String(), "segments=") {
+		t.Fatalf("STATS hides the cold tier: %q", sb.String())
+	}
+	total := srv.lab.Store().Stats().Packets + srv.lab.Store().Stats().ColdPackets
+	if err := srv.drainDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := newServer(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.drainDurable()
+	st2 := srv2.lab.Store().Stats()
+	if got := st2.Packets + st2.ColdPackets; got != total {
+		t.Fatalf("tiered reboot holds %d packets, first boot had %d", got, total)
+	}
+	if st2.ColdPackets == 0 {
+		t.Fatal("reboot lost the cold tier")
 	}
 }

@@ -13,7 +13,8 @@ import (
 // A durable store couples the in-memory sharded store with a snapshot file
 // and a write-ahead log in one directory:
 //
-//	<dir>/snapshot-<seq>.clds   the newest checkpoint (v2 snapshot format)
+//	<dir>/snapshot-<seq>.clds   the newest checkpoint (v2 snapshot format;
+//	                            v3 once a cold tier is attached)
 //	<dir>/<seq>.wal             segments holding every acked batch since
 //
 // Recover rebuilds the store as snapshot ⊕ WAL replay; CheckpointDir
@@ -100,6 +101,11 @@ type DurableConfig struct {
 	Shards int
 	// Workers bounds replay parse fan-out (0 = GOMAXPROCS).
 	Workers int
+	// Tier, when Tier.Dir is non-empty, attaches the cold tier after WAL
+	// replay: sealed segments are re-registered, hot rows at or below the
+	// seal watermark (re-ingested by replay) are trimmed so nothing is
+	// duplicated, and subsequent ingest spills to Tier.Dir per the policy.
+	Tier TierPolicy
 }
 
 // RecoveryStats reports what Recover rebuilt.
@@ -163,6 +169,18 @@ func Recover(cfg DurableConfig) (*Store, RecoveryStats, error) {
 	rs.WALRecords = records
 	rs.Torn = !clean
 
+	// Attach the cold tier after replay and before the WAL reopens: replay
+	// re-ingested every acked batch since the checkpoint, including rows
+	// that a pre-crash seal already moved into segments; EnableTiering
+	// trims the hot tier below the manifest's watermark so those rows are
+	// served from cold storage exactly once. Attaching before OpenWAL also
+	// means a torn-log checkpoint below writes the tiered snapshot format.
+	if cfg.Tier.Dir != "" {
+		if err := st.EnableTiering(cfg.Tier); err != nil {
+			return nil, rs, fmt.Errorf("datastore: recover tier: %w", err)
+		}
+	}
+
 	w, err := OpenWAL(WALConfig{
 		Dir: cfg.Dir, Fsync: cfg.Fsync,
 		SyncEvery: cfg.SyncEvery, SegmentBytes: cfg.SegmentBytes,
@@ -192,12 +210,44 @@ func Recover(cfg DurableConfig) (*Store, RecoveryStats, error) {
 
 // reshard rebuilds a loaded store under a different shard count by
 // streaming its packets (global order) through a fresh store's ingest.
+// The ID sequence is seeded at the source's smallest live ID: when the
+// live IDs are contiguous (always true for tiered stores, whose eviction
+// is seal-based) every packet keeps its original ID, which cold segments
+// reference and recovery must therefore not renumber.
 func reshard(st *Store, shards int) *Store {
 	out := NewSharded(shards)
+	base := st.nextID.Load()
+	for _, sh := range st.shards {
+		if len(sh.packets) > 0 && uint64(sh.packets[0].ID) < base {
+			base = uint64(sh.packets[0].ID)
+		}
+	}
+	out.nextID.Store(base)
 	st.Scan(func(sp *StoredPacket) bool {
 		out.ingest(sp.TS, sp.Link, sp.Data, sp.Label, sp.Actor)
 		return true
 	})
+	if out.nextID.Load() == st.nextID.Load() {
+		// IDs were preserved exactly, so the source's flow aggregates (which
+		// may span cold segments a v3 snapshot overlaid) remain valid —
+		// carry them over instead of keeping the hot-only rebuild.
+		for _, src := range st.shards {
+			for key, fm := range src.flows {
+				sh := out.shards[key.Hash()&out.mask]
+				if old, ok := sh.flows[key]; ok {
+					if d := len(fm.pktIDs) - len(old.pktIDs); d > 0 {
+						sh.indexBytes += 8 * uint64(d)
+					}
+				} else {
+					sh.indexBytes += 96 + 8*uint64(len(fm.pktIDs))
+				}
+				sh.flows[key] = fm
+			}
+		}
+	}
+	if lt := st.lastTS.Load(); lt > out.lastTS.Load() {
+		out.lastTS.Store(lt)
+	}
 	s := out
 	s.eventsMu.Lock()
 	st.eventsMu.RLock()

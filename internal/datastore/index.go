@@ -56,6 +56,12 @@ type postings struct {
 	link    map[uint16][]PacketID
 	label   map[uint8][]PacketID
 	flags   [numFlags][]PacketID
+	// evictedBelow is the highest minID a completed evictBelow has
+	// processed. Every list is already free of IDs below it, so repeat
+	// calls at or below the watermark skip the full-index walk — the
+	// common case when eviction or sealing runs on a cadence but the
+	// cutoff only sometimes advances.
+	evictedBelow PacketID
 }
 
 func newPostings() *postings {
@@ -153,6 +159,10 @@ func (px *postings) lookup(ref ixRef) []PacketID {
 // removes a prefix of the slab, which is a prefix by ID too). Returns the
 // number of entries removed.
 func (px *postings) evictBelow(minID PacketID) int {
+	if minID <= px.evictedBelow {
+		return 0
+	}
+	px.evictedBelow = minID
 	removed := 0
 	trim := func(ids []PacketID) []PacketID {
 		cut := sort.Search(len(ids), func(i int) bool { return ids[i] >= minID })
@@ -204,6 +214,40 @@ func (px *postings) evictBelow(minID PacketID) int {
 		px.flags[fl] = trim(px.flags[fl])
 	}
 	return removed
+}
+
+// clipRows restricts a sorted segment row list to the half-open row
+// interval [lo, hi) with two binary searches — the row-position analogue
+// of clipIDs for cold segments, where a TS window is a row interval.
+func clipRows(rows []uint32, lo, hi uint32) []uint32 {
+	a := sort.Search(len(rows), func(i int) bool { return rows[i] >= lo })
+	b := sort.Search(len(rows), func(i int) bool { return rows[i] >= hi })
+	return rows[a:b]
+}
+
+// intersectRows intersects already-clipped sorted row lists, shortest
+// first, with the same galloping cursor as intersectPostings.
+func intersectRows(lists [][]uint32) []uint32 {
+	out := append([]uint32(nil), lists[0]...)
+	for _, other := range lists[1:] {
+		if len(out) == 0 {
+			return out
+		}
+		kept := out[:0]
+		j := 0
+		for _, r := range out {
+			j += sort.Search(len(other)-j, func(k int) bool { return other[j+k] >= r })
+			if j == len(other) {
+				break
+			}
+			if other[j] == r {
+				kept = append(kept, r)
+				j++
+			}
+		}
+		out = kept
+	}
+	return out
 }
 
 // clipIDs restricts a sorted posting list to the half-open ID interval

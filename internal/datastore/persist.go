@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net/netip"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"campuslab/internal/eventlog"
 	"campuslab/internal/faults"
+	"campuslab/internal/packet"
 	"campuslab/internal/traffic"
 )
 
@@ -34,10 +37,20 @@ import (
 // crash-safe: written to a temp file in the target directory, fsynced,
 // then atomically renamed over the target, so a crash mid-save always
 // leaves the previous snapshot intact.
+//
+// Version 3 is written by tiered stores: once packets live in cold
+// segments, a snapshot of the hot tier alone can no longer rebuild
+// everything, so the header carries the base packet ID and the timestamp
+// watermark (re-ingest on load reassigns the ORIGINAL IDs — cold segments
+// store IDs, so recovery must not renumber), and a flows section persists
+// the full flow aggregates (hot re-ingest alone would reconstruct only
+// the hot packets' share). Version 2 stays the untiered format,
+// bit-identical to what earlier releases wrote.
 
 const (
-	persistMagic   = "CLDS"
-	persistVersion = 2
+	persistMagic         = "CLDS"
+	persistVersion       = 2
+	persistVersionTiered = 3
 )
 
 // ErrBadSnapshot reports a corrupt or incompatible snapshot stream.
@@ -92,14 +105,35 @@ func (s *Store) Save(w io.Writer) error {
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
 	}
+	tiered := s.tier.Load() != nil
+	version := uint16(persistVersion)
+	if tiered {
+		version = persistVersionTiered
+	}
 	nPackets := 0
+	var flows []*FlowMeta
 	slabs := make([][]StoredPacket, len(s.shards))
 	for i, sh := range s.shards {
 		nPackets += len(sh.packets)
 		slabs[i] = sh.packets
+		if tiered {
+			for _, fm := range sh.flows {
+				flows = append(flows, fm)
+			}
+		}
 	}
-	var scratch [12]byte
-	binary.LittleEndian.PutUint16(scratch[:2], persistVersion)
+	if tiered {
+		// Deterministic flow order (same comparator as every listing), so
+		// snapshots stay byte-identical across shard counts.
+		sort.Slice(flows, func(i, j int) bool {
+			if flows[i].First != flows[j].First {
+				return flows[i].First < flows[j].First
+			}
+			return flows[i].Key.Hash() < flows[j].Key.Hash()
+		})
+	}
+	var scratch [17]byte
+	binary.LittleEndian.PutUint16(scratch[:2], version)
 	if _, err := bw.Write(scratch[:2]); err != nil {
 		return err
 	}
@@ -111,6 +145,31 @@ func (s *Store) Save(w io.Writer) error {
 	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(s.events)))
 	if _, err := cw.Write(scratch[:8]); err != nil {
 		return err
+	}
+	if tiered {
+		// Base ID: the smallest hot ID (all hot IDs are contiguous up to
+		// nextID), or nextID itself when everything is sealed. Load seeds
+		// the sequence here so re-ingest reassigns the original IDs.
+		baseID := s.nextID.Load()
+		for _, slab := range slabs {
+			for i := range slab {
+				if uint64(slab[i].ID) < baseID {
+					baseID = uint64(slab[i].ID)
+				}
+			}
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(len(flows)))
+		if _, err := cw.Write(scratch[:8]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], baseID)
+		if _, err := cw.Write(scratch[:8]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(s.lastTS.Load()))
+		if _, err := cw.Write(scratch[:8]); err != nil {
+			return err
+		}
 	}
 	if err := writeCRC(bw, cw); err != nil {
 		return err
@@ -161,7 +220,150 @@ func (s *Store) Save(w io.Writer) error {
 	if err := writeCRC(bw, cw); err != nil {
 		return err
 	}
+	if tiered {
+		for _, fm := range flows {
+			if err := writeFlowMeta(cw, fm); err != nil {
+				return err
+			}
+		}
+		if err := writeCRC(bw, cw); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// writeFlowMeta serializes one flow aggregate (v3 flows section).
+func writeFlowMeta(cw *crcWriter, fm *FlowMeta) error {
+	var b [16]byte
+	addr := func(a netip.Addr) error {
+		flag := byte(0)
+		if a.Is4() {
+			flag = 1
+		}
+		if _, err := cw.Write([]byte{flag}); err != nil {
+			return err
+		}
+		a16 := a.As16()
+		_, err := cw.Write(a16[:])
+		return err
+	}
+	if _, err := cw.Write([]byte{byte(fm.Key.Proto)}); err != nil {
+		return err
+	}
+	if err := addr(fm.Key.SrcIP); err != nil {
+		return err
+	}
+	if err := addr(fm.Key.DstIP); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint16(b[:2], fm.Key.SrcPort)
+	binary.LittleEndian.PutUint16(b[2:4], fm.Key.DstPort)
+	if _, err := cw.Write(b[:4]); err != nil {
+		return err
+	}
+	for _, v := range []uint64{
+		uint64(fm.First), uint64(fm.Last), fm.Packets, fm.Bytes, fm.PayloadBytes,
+	} {
+		binary.LittleEndian.PutUint64(b[:8], v)
+		if _, err := cw.Write(b[:8]); err != nil {
+			return err
+		}
+	}
+	labeled := byte(0)
+	if fm.Labeled {
+		labeled = 1
+	}
+	b[0] = byte(fm.TCPFlags)
+	b[1] = byte(fm.Label)
+	b[2] = labeled
+	binary.LittleEndian.PutUint32(b[3:7], fm.DNSQueries)
+	binary.LittleEndian.PutUint32(b[7:11], fm.DNSResponses)
+	binary.LittleEndian.PutUint32(b[11:15], fm.DNSAnyCount)
+	if _, err := cw.Write(b[:15]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(fm.pktIDs)))
+	if _, err := cw.Write(b[:4]); err != nil {
+		return err
+	}
+	for _, id := range fm.pktIDs {
+		binary.LittleEndian.PutUint64(b[:8], uint64(id))
+		if _, err := cw.Write(b[:8]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFlowMeta inverts writeFlowMeta.
+func readFlowMeta(cr *crcReader) (*FlowMeta, error) {
+	var b [16]byte
+	fm := &FlowMeta{}
+	addr := func() (netip.Addr, error) {
+		var hdr [17]byte
+		if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+			return netip.Addr{}, err
+		}
+		var a16 [16]byte
+		copy(a16[:], hdr[1:])
+		if hdr[0] == 1 {
+			var a4 [4]byte
+			copy(a4[:], hdr[13:17])
+			return netip.AddrFrom4(a4), nil
+		}
+		return netip.AddrFrom16(a16), nil
+	}
+	if _, err := io.ReadFull(cr, b[:1]); err != nil {
+		return nil, err
+	}
+	fm.Key.Proto = packet.IPProtocol(b[0])
+	var err error
+	if fm.Key.SrcIP, err = addr(); err != nil {
+		return nil, err
+	}
+	if fm.Key.DstIP, err = addr(); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(cr, b[:4]); err != nil {
+		return nil, err
+	}
+	fm.Key.SrcPort = binary.LittleEndian.Uint16(b[:2])
+	fm.Key.DstPort = binary.LittleEndian.Uint16(b[2:4])
+	var u64s [5]uint64
+	for i := range u64s {
+		if _, err := io.ReadFull(cr, b[:8]); err != nil {
+			return nil, err
+		}
+		u64s[i] = binary.LittleEndian.Uint64(b[:8])
+	}
+	fm.First = time.Duration(u64s[0])
+	fm.Last = time.Duration(u64s[1])
+	fm.Packets, fm.Bytes, fm.PayloadBytes = u64s[2], u64s[3], u64s[4]
+	if _, err := io.ReadFull(cr, b[:15]); err != nil {
+		return nil, err
+	}
+	fm.TCPFlags = packet.TCPFlags(b[0])
+	fm.Label = traffic.Label(b[1])
+	fm.Labeled = b[2] == 1
+	fm.DNSQueries = binary.LittleEndian.Uint32(b[3:7])
+	fm.DNSResponses = binary.LittleEndian.Uint32(b[7:11])
+	fm.DNSAnyCount = binary.LittleEndian.Uint32(b[11:15])
+	if _, err := io.ReadFull(cr, b[:4]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("%w: flow claims %d packet IDs", ErrBadSnapshot, n)
+	}
+	fm.pktIDs = make([]PacketID, n)
+	for i := range fm.pktIDs {
+		if _, err := io.ReadFull(cr, b[:8]); err != nil {
+			return nil, err
+		}
+		fm.pktIDs[i] = PacketID(binary.LittleEndian.Uint64(b[:8]))
+	}
+	return fm, nil
 }
 
 // writeCRC emits cw's accumulated section checksum (bypassing cw so the
@@ -202,9 +404,11 @@ func Load(r io.Reader) (*Store, error) {
 	if string(head[:4]) != persistMagic {
 		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, head[:4])
 	}
-	if v := binary.LittleEndian.Uint16(head[4:6]); v != persistVersion {
+	v := binary.LittleEndian.Uint16(head[4:6])
+	if v != persistVersion && v != persistVersionTiered {
 		return nil, fmt.Errorf("%w: version %d", ErrBadSnapshot, v)
 	}
+	tiered := v == persistVersionTiered
 	cr := &crcReader{r: br}
 	var counts [16]byte
 	if _, err := io.ReadFull(cr, counts[:]); err != nil {
@@ -212,11 +416,27 @@ func Load(r io.Reader) (*Store, error) {
 	}
 	nPkts := binary.LittleEndian.Uint64(counts[:8])
 	nEvts := binary.LittleEndian.Uint64(counts[8:16])
+	var nFlows, baseID, storedLastTS uint64
+	if tiered {
+		var extra [24]byte
+		if _, err := io.ReadFull(cr, extra[:]); err != nil {
+			return nil, fmt.Errorf("%w: tiered header: %v", ErrBadSnapshot, err)
+		}
+		nFlows = binary.LittleEndian.Uint64(extra[:8])
+		baseID = binary.LittleEndian.Uint64(extra[8:16])
+		storedLastTS = binary.LittleEndian.Uint64(extra[16:24])
+	}
 	if err := checkCRC(br, cr, "header"); err != nil {
 		return nil, err
 	}
 
 	st := New()
+	if tiered {
+		// Seed the ID sequence so re-ingest reassigns the ORIGINAL hot IDs:
+		// cold segments reference packets by ID, so recovery must not
+		// renumber the hot tier underneath them.
+		st.nextID.Store(baseID)
+	}
 	var scratch [12]byte
 	var f traffic.Frame
 	for i := uint64(0); i < nPkts; i++ {
@@ -280,6 +500,36 @@ func Load(r io.Reader) (*Store, error) {
 	}
 	if len(evs) > 0 {
 		st.AddEvents(evs)
+	}
+	if tiered {
+		// Overlay the persisted flow aggregates: re-ingest above rebuilt only
+		// the hot packets' share, but a flow that straddles the seal boundary
+		// (or lives entirely in cold segments) has byte/packet totals and ID
+		// lists the hot slabs cannot reproduce.
+		if nFlows > 1<<32 {
+			return nil, fmt.Errorf("%w: header claims %d flows", ErrBadSnapshot, nFlows)
+		}
+		for i := uint64(0); i < nFlows; i++ {
+			fm, err := readFlowMeta(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: flow %d: %v", ErrBadSnapshot, i, err)
+			}
+			sh := st.shards[fm.Key.Hash()&st.mask]
+			if old, ok := sh.flows[fm.Key]; ok {
+				if d := len(fm.pktIDs) - len(old.pktIDs); d > 0 {
+					sh.indexBytes += 8 * uint64(d)
+				}
+			} else {
+				sh.indexBytes += 96 + 8*uint64(len(fm.pktIDs))
+			}
+			sh.flows[fm.Key] = fm
+		}
+		if err := checkCRC(br, cr, "flows"); err != nil {
+			return nil, err
+		}
+		if int64(storedLastTS) > st.lastTS.Load() {
+			st.lastTS.Store(int64(storedLastTS))
+		}
 	}
 	return st, nil
 }

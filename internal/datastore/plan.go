@@ -110,3 +110,29 @@ func (px *postings) shardCandidates(plan *queryPlan, slab []StoredPacket, lo, hi
 	lists[0], lists[shortest] = lists[shortest], lists[0]
 	return intersectPostings(lists), true
 }
+
+// segCandidates runs the index path for one cold segment over row
+// positions [rlo, rhi): clip each row list to the window, intersect
+// shortest-first. Unlike shardCandidates there is no selectivity fallback
+// — for a compressed segment, "scan instead" would mean inflating the
+// whole data column, which the candidate walk avoids; the zone map has
+// already proven the segment can match, so the index path always wins.
+// ok=false only when the plan is not indexable.
+func (ix *segIndex) segCandidates(plan *queryPlan, rlo, rhi uint32) (cand []uint32, ok bool) {
+	if !plan.indexable || rhi <= rlo {
+		return nil, plan.indexable
+	}
+	lists := make([][]uint32, len(plan.keys))
+	shortest := 0
+	for i, key := range plan.keys {
+		lists[i] = clipRows(ix.lookup(key), rlo, rhi)
+		if len(lists[i]) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+	if len(lists[shortest]) == 0 {
+		return nil, true
+	}
+	lists[0], lists[shortest] = lists[shortest], lists[0]
+	return intersectRows(lists), true
+}

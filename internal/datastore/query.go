@@ -92,15 +92,26 @@ func sliceWindow(slab []StoredPacket, from, to time.Duration) (lo, hi int) {
 
 // scanRange visits packets with TS in [from, to) in global (TS, ID) order,
 // stopping early if visit returns false. Shard read locks are held for the
-// duration. A negative `to` means unbounded.
+// duration. A negative `to` means unbounded. On a tiered store the cold
+// segments in the window decode into extra sorted runs that join the same
+// merge — the tier read lock is taken before the shard locks (the global
+// lock order) and held throughout, so no seal can move rows between tiers
+// mid-scan.
 func (s *Store) scanRange(from, to time.Duration, visit func(*StoredPacket) bool) {
+	var cold [][]StoredPacket
+	if tr := s.tier.Load(); tr != nil {
+		tr.mu.RLock()
+		defer tr.mu.RUnlock()
+		cold = s.coldWindowRuns(tr, from, to)
+	}
 	unlock := s.rlockAll()
 	defer unlock()
-	slabs := make([][]StoredPacket, len(s.shards))
+	slabs := make([][]StoredPacket, len(s.shards), len(s.shards)+len(cold))
 	for i, sh := range s.shards {
 		lo, hi := sliceWindow(sh.packets, from, to)
 		slabs[i] = sh.packets[lo:hi]
 	}
+	slabs = append(slabs, cold...)
 	cur := newMergeCursor(slabs)
 	for sp := cur.next(); sp != nil; sp = cur.next() {
 		if !visit(sp) {
@@ -138,12 +149,19 @@ func (s *Store) Select(f *Filter, limit int) []StoredPacket {
 		return s.selectScan(f, limit, from, to)
 	}
 	var qs queryStats
-	results := make([][]StoredPacket, len(s.shards))
+	var cold [][]StoredPacket
+	if tr := s.tier.Load(); tr != nil {
+		tr.mu.RLock()
+		defer tr.mu.RUnlock()
+		cold = s.coldSelect(tr, f, from, to, limit, &qs)
+	}
+	results := make([][]StoredPacket, len(s.shards), len(s.shards)+len(cold))
 	unlock := s.rlockAll()
 	parallel.For(len(s.shards), int(s.queryWorkers.Load()), func(si int) {
 		results[si] = s.shards[si].selectLocal(f, from, to, limit, &qs)
 	})
 	unlock()
+	results = append(results, cold...)
 	out := mergeSelect(results, limit)
 	qs.flush(len(out), f.plan.indexable)
 	return out
@@ -242,13 +260,18 @@ func (s *Store) Count(f *Filter) int {
 	}
 	from, to := f.scanWindow()
 	var qs queryStats
+	n := 0
+	if tr := s.tier.Load(); tr != nil {
+		tr.mu.RLock()
+		defer tr.mu.RUnlock()
+		n = s.coldCount(tr, f, from, to, &qs)
+	}
 	counts := make([]int, len(s.shards))
 	unlock := s.rlockAll()
 	parallel.For(len(s.shards), int(s.queryWorkers.Load()), func(si int) {
 		counts[si] = s.shards[si].countLocal(f, from, to, &qs)
 	})
 	unlock()
-	n := 0
 	for _, c := range counts {
 		n += c
 	}
@@ -257,17 +280,17 @@ func (s *Store) Count(f *Filter) int {
 }
 
 // countScan is the serial full-scan reference implementation of Count.
+// Routed through scanRange so it spans the cold tier like every other
+// reference path (order is irrelevant for counting, but the shared walk
+// keeps one cold-decode implementation).
 func (s *Store) countScan(f *Filter) int {
-	unlock := s.rlockAll()
-	defer unlock()
 	n := 0
-	for _, sh := range s.shards {
-		for i := range sh.packets {
-			if f.Match(&sh.packets[i]) {
-				n++
-			}
+	s.scanRange(0, -1, func(sp *StoredPacket) bool {
+		if f.Match(sp) {
+			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 

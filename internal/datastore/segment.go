@@ -1,0 +1,760 @@
+package datastore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"time"
+
+	"campuslab/internal/packet"
+	"campuslab/internal/traffic"
+)
+
+// The cold tier's on-disk unit is the CLSG segment: an immutable,
+// compressed, columnar encoding of one (TS, ID)-sorted run of packets.
+// Layout (all fixed integers little-endian, varints unsigned LEB128):
+//
+//	header (48 bytes):
+//	    magic "CLSG" | version u16 | reserved u16 | count u32 |
+//	    minID u64 | maxID u64 | minTS i64 | maxTS i64 | header crc32
+//	columns, in fixed order, each framed as
+//	    colID u8 | encLen u32 | payload crc32 | payload:
+//	  1 ids    first ID uvarint, then zigzag varint deltas (IDs follow
+//	           the (TS, ID) sort, so deltas are near 1 but may be signed
+//	           when concurrent serial ingest interleaved IDs across shards)
+//	  2 ts     first TS zigzag varint, then uvarint deltas (TS is
+//	           non-decreasing within a sorted run)
+//	  3 actor  bit-packed, one bit per row, trailing bits zero
+//	  4 data   uvarint total raw bytes, per-row uvarint lengths, then one
+//	           DEFLATE stream of the concatenated packet bytes
+//	  5 index  the shard posting-list families, re-based to row positions:
+//	           for proto/src.port/dst.port/link/label, ascending values
+//	           each with an ascending delta-coded row list; then the six
+//	           boolean-flag lists. The value families partition the rows,
+//	           so this section doubles as the dictionary encoding of the
+//	           link and label columns (and the zone map's value sets).
+//
+// Per-packet Summary metadata is NOT stored: decode re-parses the raw
+// bytes with the same allocation-free parser ingest used, which is
+// deterministic, so decoded rows are byte-identical to what was sealed.
+//
+// Every decode validates structure strictly (sorted runs, total
+// partitions, exact column lengths, no trailing bytes) and every
+// corruption — CRC mismatch, truncation, bit flips — surfaces as an error
+// wrapping ErrSegmentCorrupt, never a panic or a silently wrong row.
+
+const (
+	segMagic   = "CLSG"
+	segVersion = 1
+
+	segColIDs   = 1
+	segColTS    = 2
+	segColActor = 3
+	segColData  = 4
+	segColIndex = 5
+	segNumCols  = 5
+
+	segHeaderSize = 48
+	// segMaxCount bounds rows per segment (sanity cap well above any
+	// policy's SegmentPackets); segMaxData bounds the decompressed data
+	// column; segMaxPacket matches the snapshot/WAL per-packet cap.
+	segMaxCount  = 1 << 22
+	segMaxData   = 1 << 30
+	segMaxPacket = 1 << 20
+)
+
+// ErrSegmentCorrupt reports a segment that failed structural or checksum
+// validation. Every decode error wraps it.
+var ErrSegmentCorrupt = errors.New("datastore: corrupt segment")
+
+func segErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSegmentCorrupt, fmt.Sprintf(format, args...))
+}
+
+// zigzag maps signed deltas onto unsigned varint space.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }
+
+// segFamilies are the indexed value families, in file order. The position
+// in this array is the "family index" used throughout.
+var segFamilyKinds = [5]ixKind{ixProto, ixSrcPort, ixDstPort, ixLink, ixLabel}
+
+// segFamilyMax is each family's value domain bound (inclusive).
+var segFamilyMax = [5]uint64{0xff, 0xffff, 0xffff, 0xffff, 0xff}
+
+// segFamilyIndex maps a planner key kind to its family index (-1 when the
+// kind is not a value family, i.e. ixFlag).
+func segFamilyIndex(kind ixKind) int {
+	for i, k := range segFamilyKinds {
+		if k == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// segMeta is the resident per-segment metadata: row count, ID/TS bounds,
+// and the zone map. Everything queries need to prune a segment without
+// touching its columns.
+type segMeta struct {
+	count        int
+	minID, maxID PacketID
+	minTS, maxTS time.Duration
+	zone         segZone
+}
+
+// segZone is a segment's zone map: per indexed family, the exact sorted
+// set of distinct values (up to segZoneMaxVals) or a min/max range beyond
+// that, plus flag presence. mayMatch answers "could any row satisfy all of
+// the plan's equality keys" without reading a column.
+type segZone struct {
+	vals     [5][]uint64
+	min, max [5]uint64
+	overflow [5]bool
+	flags    [numFlags]bool
+}
+
+// segZoneMaxVals caps the exact value set a zone map keeps resident per
+// family; higher-cardinality families degrade to a min/max range.
+const segZoneMaxVals = 1024
+
+// mayMatch reports whether the segment could contain a row satisfying all
+// the plan's indexed equality conjuncts. False is a proof of absence;
+// true only means "must decode to know".
+func (z *segZone) mayMatch(keys []ixRef) bool {
+	for _, k := range keys {
+		if k.kind == ixFlag {
+			if k.val >= numFlags || !z.flags[k.val] {
+				return false
+			}
+			continue
+		}
+		fi := segFamilyIndex(k.kind)
+		if fi < 0 {
+			continue
+		}
+		if k.val > segFamilyMax[fi] {
+			return false
+		}
+		if z.overflow[fi] {
+			if k.val < z.min[fi] || k.val > z.max[fi] {
+				return false
+			}
+			continue
+		}
+		vs := z.vals[fi]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i] >= k.val })
+		if i >= len(vs) || vs[i] != k.val {
+			return false
+		}
+	}
+	return true
+}
+
+// segIndex is a decoded index column: the posting-list families re-based
+// to row positions within the segment.
+type segIndex struct {
+	fams  [5]map[uint64][]uint32
+	flags [numFlags][]uint32
+}
+
+func newSegIndex() *segIndex {
+	ix := &segIndex{}
+	for i := range ix.fams {
+		ix.fams[i] = make(map[uint64][]uint32)
+	}
+	return ix
+}
+
+// lookup returns the row list for one planner key (nil when absent).
+func (ix *segIndex) lookup(ref ixRef) []uint32 {
+	if ref.kind == ixFlag {
+		if ref.val >= numFlags {
+			return nil
+		}
+		return ix.flags[ref.val]
+	}
+	fi := segFamilyIndex(ref.kind)
+	if fi < 0 {
+		return nil
+	}
+	return ix.fams[fi][ref.val]
+}
+
+// scatter inverts one total value family into a per-row value array.
+// Valid only for families validated to partition the rows (decodeIndex
+// enforces this for all five).
+func (ix *segIndex) scatter(fi, count int) []uint64 {
+	out := make([]uint64, count)
+	for v, rows := range ix.fams[fi] {
+		for _, r := range rows {
+			out[r] = v
+		}
+	}
+	return out
+}
+
+// zone derives the resident zone map from a decoded (or freshly built)
+// index.
+func (ix *segIndex) zone() segZone {
+	var z segZone
+	for fi := range ix.fams {
+		vals := make([]uint64, 0, len(ix.fams[fi]))
+		for v := range ix.fams[fi] {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if len(vals) > 0 {
+			z.min[fi], z.max[fi] = vals[0], vals[len(vals)-1]
+		}
+		if len(vals) > segZoneMaxVals {
+			z.overflow[fi] = true
+		} else {
+			z.vals[fi] = vals
+		}
+	}
+	for fl := range ix.flags {
+		z.flags[fl] = len(ix.flags[fl]) > 0
+	}
+	return z
+}
+
+// buildSegIndex indexes a row run exactly like postings.add does for a
+// shard slab, keyed by row position instead of PacketID.
+func buildSegIndex(rows []StoredPacket) *segIndex {
+	ix := newSegIndex()
+	for i := range rows {
+		sp := &rows[i]
+		r := uint32(i)
+		ix.fams[0][uint64(sp.Summary.Tuple.Proto)] = append(ix.fams[0][uint64(sp.Summary.Tuple.Proto)], r)
+		ix.fams[1][uint64(sp.Summary.Tuple.SrcPort)] = append(ix.fams[1][uint64(sp.Summary.Tuple.SrcPort)], r)
+		ix.fams[2][uint64(sp.Summary.Tuple.DstPort)] = append(ix.fams[2][uint64(sp.Summary.Tuple.DstPort)], r)
+		ix.fams[3][uint64(sp.Link)] = append(ix.fams[3][uint64(sp.Link)], r)
+		ix.fams[4][uint64(sp.Label)] = append(ix.fams[4][uint64(sp.Label)], r)
+		for fl, on := range [numFlags]bool{
+			flagIP:      sp.Summary.HasIP,
+			flagTCP:     sp.Summary.HasTCP,
+			flagUDP:     sp.Summary.HasUDP,
+			flagICMP:    sp.Summary.HasICMP,
+			flagDNS:     sp.Summary.IsDNS,
+			flagDNSResp: sp.Summary.DNSResponse,
+		} {
+			if on {
+				ix.flags[fl] = append(ix.flags[fl], r)
+			}
+		}
+	}
+	return ix
+}
+
+// appendRowList delta-codes one ascending row list.
+func appendRowList(b []byte, rows []uint32) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	for j, r := range rows {
+		if j == 0 {
+			b = binary.AppendUvarint(b, uint64(r))
+		} else {
+			b = binary.AppendUvarint(b, uint64(r-rows[j-1]))
+		}
+	}
+	return b
+}
+
+// encode serializes the index column canonically: families in fixed
+// order, values ascending, rows delta-coded.
+func (ix *segIndex) encode() []byte {
+	var b []byte
+	for fi := range ix.fams {
+		vals := make([]uint64, 0, len(ix.fams[fi]))
+		for v := range ix.fams[fi] {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		b = binary.AppendUvarint(b, uint64(len(vals)))
+		for _, v := range vals {
+			b = binary.AppendUvarint(b, v)
+			b = appendRowList(b, ix.fams[fi][v])
+		}
+	}
+	for fl := range ix.flags {
+		b = appendRowList(b, ix.flags[fl])
+	}
+	return b
+}
+
+// appendColumn frames one column: id, length, payload CRC, payload.
+func appendColumn(dst []byte, colID byte, payload []byte) []byte {
+	var hdr [9]byte
+	hdr[0] = colID
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodeSegment serializes one (TS, ID)-sorted, strictly increasing row
+// run into a CLSG blob, returning the blob and the resident metadata. The
+// encoding is canonical: the same rows always produce the same bytes.
+func encodeSegment(rows []StoredPacket) ([]byte, segMeta, error) {
+	var meta segMeta
+	n := len(rows)
+	if n == 0 {
+		return nil, meta, segErr("empty row run")
+	}
+	if n > segMaxCount {
+		return nil, meta, segErr("%d rows exceeds cap", n)
+	}
+	minID, maxID := rows[0].ID, rows[0].ID
+	var totalRaw uint64
+	for i := range rows {
+		if i > 0 {
+			prev, cur := &rows[i-1], &rows[i]
+			if cur.TS < prev.TS || (cur.TS == prev.TS && cur.ID <= prev.ID) {
+				return nil, meta, segErr("rows not strictly (TS, ID) sorted at %d", i)
+			}
+		}
+		if rows[i].ID < minID {
+			minID = rows[i].ID
+		}
+		if rows[i].ID > maxID {
+			maxID = rows[i].ID
+		}
+		if len(rows[i].Data) > segMaxPacket {
+			return nil, meta, segErr("row %d data %d bytes exceeds cap", i, len(rows[i].Data))
+		}
+		totalRaw += uint64(len(rows[i].Data))
+	}
+	if totalRaw > segMaxData {
+		return nil, meta, segErr("data column %d bytes exceeds cap", totalRaw)
+	}
+	meta.count = n
+	meta.minID, meta.maxID = minID, maxID
+	meta.minTS, meta.maxTS = rows[0].TS, rows[n-1].TS
+
+	ids := binary.AppendUvarint(nil, uint64(rows[0].ID))
+	for i := 1; i < n; i++ {
+		ids = binary.AppendUvarint(ids, zigzag(int64(rows[i].ID)-int64(rows[i-1].ID)))
+	}
+	tsc := binary.AppendUvarint(nil, zigzag(int64(rows[0].TS)))
+	for i := 1; i < n; i++ {
+		tsc = binary.AppendUvarint(tsc, uint64(rows[i].TS-rows[i-1].TS))
+	}
+	act := make([]byte, (n+7)/8)
+	for i := range rows {
+		if rows[i].Actor {
+			act[i/8] |= 1 << (i % 8)
+		}
+	}
+	data := binary.AppendUvarint(nil, totalRaw)
+	for i := range rows {
+		data = binary.AppendUvarint(data, uint64(len(rows[i].Data)))
+	}
+	var blob bytes.Buffer
+	fw, err := flate.NewWriter(&blob, flate.DefaultCompression)
+	if err != nil {
+		return nil, meta, err
+	}
+	for i := range rows {
+		if _, err := fw.Write(rows[i].Data); err != nil {
+			return nil, meta, err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return nil, meta, err
+	}
+	data = append(data, blob.Bytes()...)
+
+	ix := buildSegIndex(rows)
+	meta.zone = ix.zone()
+	ixb := ix.encode()
+
+	out := make([]byte, 0, segHeaderSize+len(ids)+len(tsc)+len(act)+len(data)+len(ixb)+5*9)
+	out = append(out, segMagic...)
+	out = binary.LittleEndian.AppendUint16(out, segVersion)
+	out = binary.LittleEndian.AppendUint16(out, 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	out = binary.LittleEndian.AppendUint64(out, uint64(minID))
+	out = binary.LittleEndian.AppendUint64(out, uint64(maxID))
+	out = binary.LittleEndian.AppendUint64(out, uint64(meta.minTS))
+	out = binary.LittleEndian.AppendUint64(out, uint64(meta.maxTS))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out[:44]))
+	out = appendColumn(out, segColIDs, ids)
+	out = appendColumn(out, segColTS, tsc)
+	out = appendColumn(out, segColActor, act)
+	out = appendColumn(out, segColData, data)
+	out = appendColumn(out, segColIndex, ixb)
+	return out, meta, nil
+}
+
+// segBlob is a parsed segment: header fields plus the framed, CRC-verified
+// column payloads, decoded lazily so pruned queries touch as little as
+// possible.
+type segBlob struct {
+	count        int
+	minID, maxID PacketID
+	minTS, maxTS time.Duration
+	cols         [segNumCols + 1][]byte
+}
+
+// parseSegment validates the header and the column framing (magic,
+// version, counts, per-column CRC, no trailing bytes) without decoding
+// any column payload.
+func parseSegment(b []byte) (*segBlob, error) {
+	if len(b) < segHeaderSize {
+		return nil, segErr("short header (%d bytes)", len(b))
+	}
+	if string(b[:4]) != segMagic {
+		return nil, segErr("bad magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != segVersion {
+		return nil, segErr("unsupported version %d", v)
+	}
+	if binary.LittleEndian.Uint16(b[6:8]) != 0 {
+		return nil, segErr("nonzero reserved field")
+	}
+	if got, want := crc32.ChecksumIEEE(b[:44]), binary.LittleEndian.Uint32(b[44:48]); got != want {
+		return nil, segErr("header checksum %08x != %08x", got, want)
+	}
+	sb := &segBlob{
+		count: int(binary.LittleEndian.Uint32(b[8:12])),
+		minID: PacketID(binary.LittleEndian.Uint64(b[12:20])),
+		maxID: PacketID(binary.LittleEndian.Uint64(b[20:28])),
+		minTS: time.Duration(binary.LittleEndian.Uint64(b[28:36])),
+		maxTS: time.Duration(binary.LittleEndian.Uint64(b[36:44])),
+	}
+	if sb.count <= 0 || sb.count > segMaxCount {
+		return nil, segErr("row count %d out of range", sb.count)
+	}
+	off := segHeaderSize
+	for want := byte(1); want <= segNumCols; want++ {
+		if len(b)-off < 9 {
+			return nil, segErr("truncated at column %d frame", want)
+		}
+		if b[off] != want {
+			return nil, segErr("column %d out of order (got id %d)", want, b[off])
+		}
+		n := int(binary.LittleEndian.Uint32(b[off+1 : off+5]))
+		sum := binary.LittleEndian.Uint32(b[off+5 : off+9])
+		off += 9
+		if n > len(b)-off {
+			return nil, segErr("column %d claims %d bytes, %d remain", want, n, len(b)-off)
+		}
+		payload := b[off : off+n]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, segErr("column %d checksum %08x != %08x", want, got, sum)
+		}
+		sb.cols[want] = payload
+		off += n
+	}
+	if off != len(b) {
+		return nil, segErr("%d trailing bytes", len(b)-off)
+	}
+	return sb, nil
+}
+
+// segReader walks one column payload's varints with bounds checking.
+type segReader struct {
+	b   []byte
+	off int
+}
+
+func (r *segReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, segErr("bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *segReader) done() bool { return r.off == len(r.b) }
+
+// decodeTimeID decodes and cross-validates the ID and TS columns: the
+// (TS, ID) sequence must be strictly increasing and the bounds must match
+// the header.
+func (sb *segBlob) decodeTimeID() ([]PacketID, []time.Duration, error) {
+	idr := &segReader{b: sb.cols[segColIDs]}
+	tsr := &segReader{b: sb.cols[segColTS]}
+	ids := make([]PacketID, sb.count)
+	tss := make([]time.Duration, sb.count)
+	v, err := idr.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	ids[0] = PacketID(v)
+	if v, err = tsr.uvarint(); err != nil {
+		return nil, nil, err
+	}
+	tss[0] = time.Duration(unzigzag(v))
+	minID, maxID := ids[0], ids[0]
+	for i := 1; i < sb.count; i++ {
+		if v, err = idr.uvarint(); err != nil {
+			return nil, nil, err
+		}
+		ids[i] = PacketID(uint64(ids[i-1]) + uint64(unzigzag(v)))
+		if v, err = tsr.uvarint(); err != nil {
+			return nil, nil, err
+		}
+		tss[i] = tss[i-1] + time.Duration(v)
+		if tss[i] < tss[i-1] || (tss[i] == tss[i-1] && ids[i] <= ids[i-1]) {
+			return nil, nil, segErr("rows not strictly (TS, ID) sorted at %d", i)
+		}
+		if ids[i] < minID {
+			minID = ids[i]
+		}
+		if ids[i] > maxID {
+			maxID = ids[i]
+		}
+	}
+	if !idr.done() || !tsr.done() {
+		return nil, nil, segErr("trailing bytes in id/ts column")
+	}
+	if minID != sb.minID || maxID != sb.maxID {
+		return nil, nil, segErr("ID bounds [%d,%d] disagree with header [%d,%d]", minID, maxID, sb.minID, sb.maxID)
+	}
+	if tss[0] != sb.minTS || tss[sb.count-1] != sb.maxTS {
+		return nil, nil, segErr("TS bounds disagree with header")
+	}
+	return ids, tss, nil
+}
+
+// decodeActor decodes the bit-packed actor column.
+func (sb *segBlob) decodeActor() ([]byte, error) {
+	act := sb.cols[segColActor]
+	if len(act) != (sb.count+7)/8 {
+		return nil, segErr("actor column %d bytes, want %d", len(act), (sb.count+7)/8)
+	}
+	if rem := sb.count % 8; rem != 0 && act[len(act)-1]>>rem != 0 {
+		return nil, segErr("nonzero trailing actor bits")
+	}
+	return act, nil
+}
+
+// decodeData inflates the data column into per-row byte slices (views
+// into one shared buffer).
+func (sb *segBlob) decodeData() ([][]byte, error) {
+	r := &segReader{b: sb.cols[segColData]}
+	totalRaw, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if totalRaw > segMaxData {
+		return nil, segErr("data column claims %d bytes", totalRaw)
+	}
+	lens := make([]uint64, sb.count)
+	var sum uint64
+	for i := range lens {
+		if lens[i], err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if lens[i] > segMaxPacket {
+			return nil, segErr("row %d claims %d data bytes", i, lens[i])
+		}
+		sum += lens[i]
+	}
+	if sum != totalRaw {
+		return nil, segErr("row lengths sum %d != total %d", sum, totalRaw)
+	}
+	fr := flate.NewReader(bytes.NewReader(r.b[r.off:]))
+	buf := make([]byte, totalRaw)
+	if _, err := io.ReadFull(fr, buf); err != nil {
+		return nil, segErr("inflate: %v", err)
+	}
+	var one [1]byte
+	if n, err := fr.Read(one[:]); n != 0 || err != io.EOF {
+		return nil, segErr("trailing bytes in deflate stream")
+	}
+	if err := fr.Close(); err != nil {
+		return nil, segErr("inflate close: %v", err)
+	}
+	out := make([][]byte, sb.count)
+	off := uint64(0)
+	for i := range out {
+		out[i] = buf[off : off+lens[i] : off+lens[i]]
+		off += lens[i]
+	}
+	return out, nil
+}
+
+// readRowList decodes one delta-coded row list, validating strict ascent
+// and the row-position domain.
+func readRowList(r *segReader, count int) ([]uint32, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(count) {
+		return nil, segErr("row list claims %d of %d rows", n, count)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	rows := make([]uint32, n)
+	v, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v >= uint64(count) {
+		return nil, segErr("row %d out of range", v)
+	}
+	rows[0] = uint32(v)
+	for j := 1; j < int(n); j++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 {
+			return nil, segErr("row list not strictly ascending")
+		}
+		nv := uint64(rows[j-1]) + d
+		if nv >= uint64(count) {
+			return nil, segErr("row %d out of range", nv)
+		}
+		rows[j] = uint32(nv)
+	}
+	return rows, nil
+}
+
+// decodeIndex decodes and validates the index column: ascending in-domain
+// values, strictly ascending row lists, and — for the five value families
+// — an exact partition of the rows (which is what makes the link/label
+// scatter total and the zone map's absence proofs sound).
+func (sb *segBlob) decodeIndex() (*segIndex, error) {
+	r := &segReader{b: sb.cols[segColIndex]}
+	ix := newSegIndex()
+	for fi := range ix.fams {
+		nvals, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nvals > uint64(sb.count) {
+			return nil, segErr("family %d claims %d values", fi, nvals)
+		}
+		seen := make([]bool, sb.count)
+		total := 0
+		prev := uint64(0)
+		for vi := uint64(0); vi < nvals; vi++ {
+			val, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if vi > 0 && val <= prev {
+				return nil, segErr("family %d values not ascending", fi)
+			}
+			prev = val
+			if val > segFamilyMax[fi] {
+				return nil, segErr("family %d value %d out of domain", fi, val)
+			}
+			rows, err := readRowList(r, sb.count)
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) == 0 {
+				return nil, segErr("family %d value %d has no rows", fi, val)
+			}
+			for _, row := range rows {
+				if seen[row] {
+					return nil, segErr("family %d row %d indexed twice", fi, row)
+				}
+				seen[row] = true
+			}
+			total += len(rows)
+			ix.fams[fi][val] = rows
+		}
+		if total != sb.count {
+			return nil, segErr("family %d covers %d of %d rows", fi, total, sb.count)
+		}
+	}
+	for fl := range ix.flags {
+		rows, err := readRowList(r, sb.count)
+		if err != nil {
+			return nil, err
+		}
+		ix.flags[fl] = rows
+	}
+	if !r.done() {
+		return nil, segErr("trailing bytes in index column")
+	}
+	return ix, nil
+}
+
+// rowsAt materializes the selected rows (ascending row positions) into
+// StoredPackets, re-parsing summaries from the raw bytes. sel == nil
+// materializes every row.
+func (sb *segBlob) rowsAt(sel []uint32, ix *segIndex, ids []PacketID, tss []time.Duration) ([]StoredPacket, error) {
+	act, err := sb.decodeActor()
+	if err != nil {
+		return nil, err
+	}
+	data, err := sb.decodeData()
+	if err != nil {
+		return nil, err
+	}
+	links := ix.scatter(3, sb.count)
+	labels := ix.scatter(4, sb.count)
+	n := sb.count
+	if sel != nil {
+		n = len(sel)
+	}
+	out := make([]StoredPacket, n)
+	p := parserPool.Get().(*packet.FlowParser)
+	for i := 0; i < n; i++ {
+		row := i
+		if sel != nil {
+			row = int(sel[i])
+		}
+		sp := &out[i]
+		sp.ID, sp.TS = ids[row], tss[row]
+		sp.Link = uint16(links[row])
+		sp.Label = traffic.Label(labels[row])
+		sp.Actor = act[row/8]&(1<<(row%8)) != 0
+		sp.Data = data[row]
+		_ = p.Parse(sp.Data, &sp.Summary)
+	}
+	parserPool.Put(p)
+	return out, nil
+}
+
+// decodeSegmentRows fully decodes a segment blob back into its row run —
+// the scan-reference and compaction path, and the fuzz target's identity
+// check: decode(encode(rows)) == rows for every valid blob.
+func decodeSegmentRows(b []byte) ([]StoredPacket, error) {
+	sb, err := parseSegment(b)
+	if err != nil {
+		return nil, err
+	}
+	ids, tss, err := sb.decodeTimeID()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := sb.decodeIndex()
+	if err != nil {
+		return nil, err
+	}
+	return sb.rowsAt(nil, ix, ids, tss)
+}
+
+// openSegMeta parses a segment blob just enough to register it: header
+// bounds plus the zone map derived from the index column. The ID/TS/data
+// columns stay untouched.
+func openSegMeta(b []byte) (segMeta, error) {
+	var m segMeta
+	sb, err := parseSegment(b)
+	if err != nil {
+		return m, err
+	}
+	ix, err := sb.decodeIndex()
+	if err != nil {
+		return m, err
+	}
+	m.count = sb.count
+	m.minID, m.maxID = sb.minID, sb.maxID
+	m.minTS, m.maxTS = sb.minTS, sb.maxTS
+	m.zone = ix.zone()
+	return m, nil
+}

@@ -151,9 +151,17 @@ type Store struct {
 	// admission is the ingest gate config (zero value = disabled);
 	// admissionOn mirrors admission.enabled() so the serial ingest fast
 	// path learns "no gate" from one atomic load instead of the RWMutex.
+	// Occupancy (totPackets/totBytes) counts the HOT tier only: sealing
+	// packets into cold segments frees occupancy, so the gate reopens as
+	// data demotes instead of wedging shut once the store fills.
 	admissionMu sync.RWMutex
 	admission   AdmissionConfig
 	admissionOn atomic.Bool
+
+	// tier is the cold tier (tier.go); nil until EnableTiering. An atomic
+	// pointer so the ingest and query hot paths learn "no cold tier" from
+	// one load.
+	tier atomic.Pointer[tier]
 }
 
 // ScanQueryEnv, when set to any non-empty value, makes every new Store
@@ -341,7 +349,9 @@ func (s *Store) ingest(ts time.Duration, link uint16, data []byte, label traffic
 		p := parserPool.Get().(*packet.FlowParser)
 		_ = p.Parse(data, &it.summary) // ErrNotIP etc: stored with partial summary
 		parserPool.Put(p)
-		return s.applyItem(&it, ts), nil
+		id := s.applyItem(&it, ts)
+		s.maybeSeal()
+		return id, nil
 	}
 	r, err := s.appendBatch(
 		[]traffic.Frame{{TS: ts, Data: data, Label: label, Actor: actor}},
@@ -430,6 +440,9 @@ func (s *Store) appendBatch(frames []traffic.Frame, links []uint16, workers int)
 		r.First = s.addBatch(kept, keptLinks, workers)
 	}
 	r.Ingested = len(kept)
+	// Seal trigger runs outside ingestMu so spilling to the cold tier
+	// never blocks the WAL ack path.
+	s.maybeSeal()
 	return r, nil
 }
 
@@ -527,7 +540,8 @@ func (sh *shard) byID(id PacketID) *StoredPacket {
 	return nil
 }
 
-// Packet returns a copy of the stored packet with the given ID.
+// Packet returns a copy of the stored packet with the given ID, falling
+// back to the cold tier for sealed history.
 func (s *Store) Packet(id PacketID) (StoredPacket, bool) {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -537,6 +551,9 @@ func (s *Store) Packet(id PacketID) (StoredPacket, bool) {
 			return out, true
 		}
 		sh.mu.RUnlock()
+	}
+	if tr := s.tier.Load(); tr != nil {
+		return s.coldPacket(tr, id)
 	}
 	return StoredPacket{}, false
 }
@@ -643,17 +660,26 @@ func (s *Store) EventsBetween(from, to time.Duration) []eventlog.Event {
 }
 
 // Stats describes store volume — the E7 storage-accounting surface.
+// Packets/DataBytes/IndexBytes describe the hot tier (the RAM-resident
+// bytes the admission gate meters); the Cold* fields describe sealed
+// on-disk segments, so the two tiers stay separately honest.
 type Stats struct {
 	Packets    uint64
 	Flows      uint64
 	Events     uint64
-	DataBytes  uint64 // raw packet bytes
-	IndexBytes uint64 // metadata/index overhead estimate
+	DataBytes  uint64 // raw packet bytes (hot tier)
+	IndexBytes uint64 // metadata/index overhead estimate (hot tier)
 	Span       time.Duration
+
+	// Cold tier (all zero when tiering is off).
+	ColdPackets uint64
+	ColdBytes   uint64 // compressed segment file bytes on disk
+	Segments    uint64
 }
 
-// TotalBytes is data plus index.
-func (st Stats) TotalBytes() uint64 { return st.DataBytes + st.IndexBytes }
+// TotalBytes is data plus index plus cold segments — the full footprint
+// across both tiers (identical to the old definition when tiering is off).
+func (st Stats) TotalBytes() uint64 { return st.DataBytes + st.IndexBytes + st.ColdBytes }
 
 // BytesPerSecond returns the storage accrual rate over the stored span.
 func (st Stats) BytesPerSecond() float64 {
@@ -691,7 +717,22 @@ func (s *Store) Stats() Stats {
 		}
 	}
 	unlock()
-	if st.Packets > 0 {
+	if tr := s.tier.Load(); tr != nil {
+		tr.mu.RLock()
+		st.ColdPackets = tr.coldPackets
+		st.ColdBytes = tr.coldBytes
+		st.Segments = uint64(len(tr.segs))
+		for _, sg := range tr.segs {
+			if sg.meta.minTS < first {
+				first = sg.meta.minTS
+			}
+			if sg.meta.maxTS > last {
+				last = sg.meta.maxTS
+			}
+		}
+		tr.mu.RUnlock()
+	}
+	if st.Packets+st.ColdPackets > 0 {
 		st.Span = last - first
 	}
 	s.eventsMu.RLock()
@@ -705,7 +746,16 @@ func (s *Store) Stats() Stats {
 // number of packets evicted — the retention enforcement path. Shards are
 // evicted independently; a concurrent reader may observe some shards
 // trimmed before others.
+//
+// On a tiered store, eviction is seal-aware: the candidates are sealed
+// into cold segments instead of destroyed, so the hot tier shrinks by the
+// same amount but the history stays queryable (cold retention is the
+// TierPolicy's Retain horizon, enforced by the compactor).
 func (s *Store) EvictBefore(ts time.Duration) int {
+	if tr := s.tier.Load(); tr != nil {
+		n, _ := s.SealBefore(ts)
+		return n
+	}
 	total := 0
 	var freed uint64
 	for _, sh := range s.shards {

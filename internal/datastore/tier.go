@@ -1,0 +1,1144 @@
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"campuslab/internal/obs"
+	"campuslab/internal/parallel"
+)
+
+// The cold tier: week-scale retention at bounded RSS. When a TierPolicy
+// is enabled, the store seals its oldest packets — always a prefix of the
+// global ID sequence — into immutable CLSG segments on disk (segment.go)
+// and trims them from the hot shard slabs. Queries span both tiers
+// transparently: cold segments decode into extra (TS, ID)-sorted runs
+// that join the same k-way merge as the hot shards, so results are
+// byte-identical to an untiered store at any policy.
+//
+// State machine and crash safety. All cold-tier mutation (seal, compact,
+// retain) serializes on sealMu and follows one write protocol:
+//
+//	1. write new segment files (temp + fsync + rename + dir sync)
+//	2. write the manifest naming the new segment set and the seal
+//	   watermark (same atomic protocol)
+//	3. swap the in-RAM registry — and, for seal, trim the hot slabs —
+//	   under tier.mu plus every shard lock
+//	4. unlink replaced files (best effort; orphans are swept at attach)
+//
+// The manifest rename is the commit point. Killed before it, new files
+// are unreferenced orphans and the packets are still covered by the hot
+// tier's snapshot/WAL; killed after it, recovery rebuilds the hot store,
+// then EnableTiering trims everything below the manifest's watermark —
+// exactly the rows the segments hold. Acked ⇒ (slab ∨ WAL ∨ segment)
+// holds through kill -9 at any instruction, with no duplicates, because
+// the watermark trim is idempotent.
+//
+// Lock order: tier.mu strictly before shard locks, everywhere. Readers
+// take tier.mu.RLock, decode the cold runs they need, then take the shard
+// read locks; the seal swap takes tier.mu.Lock then every shard write
+// lock. sealMu is above both and never held by readers.
+
+// TierPolicy configures the cold tier. The zero value disables tiering.
+type TierPolicy struct {
+	// Dir is the segment directory (required; empty disables tiering).
+	Dir string
+	// HotPackets caps the hot tier's packet count; crossing it triggers a
+	// seal that trims the hot tier down to KeepFrac of the cap.
+	// 0 = no packet trigger.
+	HotPackets uint64
+	// HotBytes caps the hot tier's raw packet bytes (0 = no byte trigger).
+	HotBytes uint64
+	// KeepFrac is the fraction of the cap the hot tier is trimmed to when
+	// a seal triggers (default 0.5) — sealing in halves amortizes the
+	// per-seal cost instead of sealing a sliver per batch.
+	KeepFrac float64
+	// MinSealPackets is the smallest prefix worth sealing (default 256);
+	// below it the trigger is ignored to avoid confetti segments.
+	MinSealPackets uint64
+	// SegmentPackets is the target rows per segment file (default 32768).
+	SegmentPackets int
+	// Retain bounds cold history: segments whose newest packet is older
+	// than lastTS-Retain are deleted by the compactor (0 = keep forever).
+	Retain time.Duration
+}
+
+func (p *TierPolicy) applyDefaults() {
+	if p.KeepFrac <= 0 || p.KeepFrac >= 1 {
+		p.KeepFrac = 0.5
+	}
+	if p.MinSealPackets == 0 {
+		p.MinSealPackets = 256
+	}
+	if p.SegmentPackets <= 0 {
+		p.SegmentPackets = 32768
+	}
+}
+
+// TierStats reports the cold tier for Stats consumers, labd gauges and
+// E17: resident registry state plus lifetime counters (per store, so
+// experiments can diff them without scraping the process registry).
+type TierStats struct {
+	Enabled         bool
+	Segments        int
+	ColdPackets     uint64
+	ColdBytes       uint64 // segment file bytes on disk
+	SealedBelow     PacketID
+	Seals           uint64
+	SealedPackets   uint64
+	Compactions     uint64
+	SegmentsScanned uint64 // cold segments decoded for queries
+	SegmentsPruned  uint64 // cold segments skipped by TS bounds or zone map
+	CorruptSegments uint64
+	Err             error // sticky: last segment decode/IO failure
+}
+
+// Tier-lifecycle metrics for /metrics.
+var (
+	obsTierSeals        = obs.Default.Counter("campuslab_tier_seals_total")
+	obsTierSealedPkts   = obs.Default.Counter("campuslab_tier_sealed_packets_total")
+	obsTierCompactions  = obs.Default.Counter("campuslab_tier_compactions_total")
+	obsTierRetained     = obs.Default.Counter("campuslab_tier_retained_segments_total")
+	obsTierScanned      = obs.Default.Counter("campuslab_tier_segments_scanned_total")
+	obsTierPruned       = obs.Default.Counter("campuslab_tier_segments_pruned_total")
+	obsTierCorrupt      = obs.Default.Counter("campuslab_tier_corrupt_segments_total")
+	obsTierSegments     = obs.Default.Gauge("campuslab_tier_segments")
+	obsTierColdPackets  = obs.Default.Gauge("campuslab_tier_cold_packets")
+	obsTierColdBytes    = obs.Default.Gauge("campuslab_tier_cold_bytes")
+)
+
+// tierTestHook, when set, is called at the named stages of the seal and
+// compact protocols so crash tests can kill -9 the process between the
+// file writes, the manifest commit, and the in-RAM swap.
+var tierTestHook func(stage string)
+
+func tierHook(stage string) {
+	if tierTestHook != nil {
+		tierTestHook(stage)
+	}
+}
+
+// tierSegment is one registered cold segment: its file name, resident
+// metadata and on-disk size.
+type tierSegment struct {
+	name      string
+	meta      segMeta
+	fileBytes uint64
+}
+
+// tier is the cold-tier registry attached to a store.
+type tier struct {
+	dir    string
+	policy TierPolicy
+
+	// sealMu serializes every cold-tier mutation (seal/compact/retain).
+	sealMu sync.Mutex
+	// nextSeq numbers segment files monotonically; guarded by sealMu.
+	nextSeq uint64
+
+	// mu guards the registry below. Ordered strictly before shard locks.
+	mu          sync.RWMutex
+	segs        []*tierSegment // ascending minID (seal order)
+	coldPackets uint64
+	coldBytes   uint64
+
+	// sealedBelow mirrors the manifest watermark: every ID below it is
+	// cold. Atomic so the per-batch seal trigger reads it lock-free.
+	sealedBelow atomic.Uint64
+
+	seals         atomic.Uint64
+	sealedPackets atomic.Uint64
+	compactions   atomic.Uint64
+	scanned       atomic.Uint64
+	pruned        atomic.Uint64
+	corrupt       atomic.Uint64
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// noteErr records a segment failure: sticky for healthz, counted for
+// /metrics. The failing segment is treated as empty for the query that
+// hit it — queries degrade loudly (healthz goes degraded) rather than
+// failing outright.
+func (tr *tier) noteErr(err error) {
+	tr.corrupt.Add(1)
+	obsTierCorrupt.Inc()
+	tr.errMu.Lock()
+	tr.lastErr = err
+	tr.errMu.Unlock()
+}
+
+func (tr *tier) publishLocked() {
+	obsTierSegments.Set(float64(len(tr.segs)))
+	obsTierColdPackets.Set(float64(tr.coldPackets))
+	obsTierColdBytes.Set(float64(tr.coldBytes))
+}
+
+// TierStats reports the cold tier (zero value when tiering is off).
+func (s *Store) TierStats() TierStats {
+	tr := s.tier.Load()
+	if tr == nil {
+		return TierStats{}
+	}
+	tr.mu.RLock()
+	st := TierStats{
+		Enabled:     true,
+		Segments:    len(tr.segs),
+		ColdPackets: tr.coldPackets,
+		ColdBytes:   tr.coldBytes,
+	}
+	tr.mu.RUnlock()
+	st.SealedBelow = PacketID(tr.sealedBelow.Load())
+	st.Seals = tr.seals.Load()
+	st.SealedPackets = tr.sealedPackets.Load()
+	st.Compactions = tr.compactions.Load()
+	st.SegmentsScanned = tr.scanned.Load()
+	st.SegmentsPruned = tr.pruned.Load()
+	st.CorruptSegments = tr.corrupt.Load()
+	tr.errMu.Lock()
+	st.Err = tr.lastErr
+	tr.errMu.Unlock()
+	return st
+}
+
+const (
+	tierManifestName = "tier.manifest"
+	tierManifestMag  = "CLTM"
+	tierManifestVer  = 1
+	segSuffix        = ".clsg"
+)
+
+func tierSegName(seq uint64) string { return fmt.Sprintf("seg-%016x%s", seq, segSuffix) }
+
+// writeFileAtomic writes name under dir via temp + fsync + rename and
+// syncs the directory, so the file is either absent or complete.
+func writeFileAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, name+".tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+
+// writeManifestLocked commits a new segment set + watermark. Caller holds
+// sealMu (segs may be the live slice — it is only mutated under sealMu).
+func (tr *tier) writeManifestLocked(sealedBelow PacketID, segs []*tierSegment) error {
+	b := []byte(tierManifestMag)
+	b = le16(b, tierManifestVer)
+	b = le16(b, 0)
+	b = le64(b, uint64(sealedBelow))
+	b = le64(b, tr.nextSeq)
+	b = le32(b, uint32(len(segs)))
+	for _, sg := range segs {
+		b = le16(b, uint16(len(sg.name)))
+		b = append(b, sg.name...)
+	}
+	b = le32(b, crc32.ChecksumIEEE(b))
+	return writeFileAtomic(tr.dir, tierManifestName, b)
+}
+
+// loadManifest reads the tier manifest; ok=false means a fresh tier (no
+// manifest yet). A present-but-invalid manifest is an error — refusing to
+// open beats silently dropping cold history.
+func loadManifest(dir string) (sealedBelow PacketID, nextSeq uint64, names []string, ok bool, err error) {
+	b, rerr := os.ReadFile(filepath.Join(dir, tierManifestName))
+	if rerr != nil {
+		if errors.Is(rerr, os.ErrNotExist) {
+			return 0, 0, nil, false, nil
+		}
+		return 0, 0, nil, false, rerr
+	}
+	bad := func(f string, a ...any) error {
+		return fmt.Errorf("datastore: tier manifest: %s", fmt.Sprintf(f, a...))
+	}
+	if len(b) < 4+2+2+8+8+4+4 || string(b[:4]) != tierManifestMag {
+		return 0, 0, nil, false, bad("bad magic or truncated")
+	}
+	body, sum := b[:len(b)-4], rd32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, 0, nil, false, bad("checksum mismatch")
+	}
+	if v := rd16(b[4:]); v != tierManifestVer {
+		return 0, 0, nil, false, bad("unsupported version %d", v)
+	}
+	sealedBelow = PacketID(rd64(b[8:]))
+	nextSeq = rd64(b[16:])
+	n := int(rd32(b[24:]))
+	off := 28
+	for i := 0; i < n; i++ {
+		if off+2 > len(body) {
+			return 0, 0, nil, false, bad("truncated name table")
+		}
+		l := int(rd16(b[off:]))
+		off += 2
+		if off+l > len(body) {
+			return 0, 0, nil, false, bad("truncated name")
+		}
+		names = append(names, string(b[off:off+l]))
+		off += l
+	}
+	if off != len(body) {
+		return 0, 0, nil, false, bad("trailing bytes")
+	}
+	return sealedBelow, nextSeq, names, true, nil
+}
+
+// EnableTiering attaches a cold tier. On a directory with an existing
+// manifest it reloads the segment registry, sweeps crash orphans, trims
+// any hot rows below the seal watermark (recovery re-ingests them from
+// the snapshot/WAL; the trim is the idempotent dedup step), and advances
+// the ID/TS sequences past the cold maxima so new packets never collide
+// with sealed history.
+func (s *Store) EnableTiering(pol TierPolicy) error {
+	if pol.Dir == "" {
+		return errors.New("datastore: tier policy needs a directory")
+	}
+	if s.tier.Load() != nil {
+		return errors.New("datastore: tiering already enabled")
+	}
+	pol.applyDefaults()
+	if err := os.MkdirAll(pol.Dir, 0o755); err != nil {
+		return err
+	}
+	RemoveStaleTemps(pol.Dir, tierManifestName)
+	RemoveStaleTemps(pol.Dir, "seg-*"+segSuffix)
+	sealedBelow, nextSeq, names, ok, err := loadManifest(pol.Dir)
+	if err != nil {
+		return err
+	}
+	tr := &tier{dir: pol.Dir, policy: pol, nextSeq: nextSeq}
+	inManifest := make(map[string]bool, len(names))
+	if ok {
+		var maxID PacketID
+		var maxTS time.Duration
+		for _, name := range names {
+			inManifest[name] = true
+			b, err := os.ReadFile(filepath.Join(pol.Dir, name))
+			if err != nil {
+				return fmt.Errorf("datastore: tier segment %s: %w", name, err)
+			}
+			meta, err := openSegMeta(b)
+			if err != nil {
+				return fmt.Errorf("datastore: tier segment %s: %w", name, err)
+			}
+			tr.segs = append(tr.segs, &tierSegment{name: name, meta: meta, fileBytes: uint64(len(b))})
+			tr.coldPackets += uint64(meta.count)
+			tr.coldBytes += uint64(len(b))
+			if meta.maxID > maxID {
+				maxID = meta.maxID
+			}
+			if meta.maxTS > maxTS {
+				maxTS = meta.maxTS
+			}
+			if seq, perr := parseTierSegName(name); perr == nil && seq >= tr.nextSeq {
+				tr.nextSeq = seq + 1
+			}
+		}
+		sort.Slice(tr.segs, func(i, j int) bool { return tr.segs[i].meta.minID < tr.segs[j].meta.minID })
+		tr.sealedBelow.Store(uint64(sealedBelow))
+		// The sealed history owns IDs up to maxID and time up to maxTS;
+		// the fresh sequences must start past both.
+		if next := uint64(maxID) + 1; len(tr.segs) > 0 && s.nextID.Load() < next {
+			s.nextID.Store(next)
+		}
+		if len(tr.segs) > 0 && s.lastTS.Load() < int64(maxTS) {
+			s.lastTS.Store(int64(maxTS))
+		}
+	}
+	// Sweep orphan segment files (written by a seal/compact that died
+	// before its manifest commit, or replaced by one that died before
+	// unlinking its inputs).
+	if matches, _ := filepath.Glob(filepath.Join(pol.Dir, "seg-*"+segSuffix)); matches != nil {
+		for _, m := range matches {
+			if !inManifest[filepath.Base(m)] {
+				os.Remove(m)
+			}
+		}
+	}
+	// Idempotent dedup: recovery may have re-ingested rows that are
+	// already sealed; drop them from the hot tier (occupancy follows).
+	if w := PacketID(tr.sealedBelow.Load()); w > 0 {
+		var removed int
+		var freed uint64
+		for _, sh := range s.shards {
+			sh.lock()
+			n, b := sh.trimBelowID(w)
+			removed += n
+			freed += b
+			sh.mu.Unlock()
+		}
+		if removed > 0 {
+			s.totPackets.Add(^uint64(removed) + 1)
+			s.totBytes.Add(^freed + 1)
+		}
+	}
+	tr.mu.Lock()
+	tr.publishLocked()
+	tr.mu.Unlock()
+	s.tier.Store(tr)
+	return nil
+}
+
+func parseTierSegName(name string) (uint64, error) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "seg-%016x"+segSuffix, &seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// trimBelowID drops the shard's slab prefix with ID < limit — the hot
+// side of a seal. Unlike evictBefore, flow metadata survives intact:
+// sealed packets are still queryable, so their flows' aggregates and
+// packet-ID lists must keep describing them. Caller holds the shard
+// write lock.
+func (sh *shard) trimBelowID(limit PacketID) (int, uint64) {
+	cut := sort.Search(len(sh.packets), func(i int) bool { return sh.packets[i].ID >= limit })
+	if cut == 0 {
+		return 0, 0
+	}
+	var freed uint64
+	for i := range sh.packets[:cut] {
+		freed += uint64(len(sh.packets[i].Data))
+	}
+	sh.dataBytes -= freed
+	sh.packets = append([]StoredPacket(nil), sh.packets[cut:]...)
+	sh.indexBytes -= 8 * uint64(sh.index.evictBelow(limit))
+	return cut, freed
+}
+
+// maybeSeal is the per-batch seal trigger: two atomic loads when the hot
+// tier is under its caps, a background-priority TryLock when it is not.
+// Called outside ingestMu so sealing never blocks the WAL ack path.
+func (s *Store) maybeSeal() {
+	tr := s.tier.Load()
+	if tr == nil {
+		return
+	}
+	pol := &tr.policy
+	hotPkts := s.totPackets.Load()
+	hotBytes := s.totBytes.Load()
+	var keep uint64
+	switch {
+	case pol.HotPackets > 0 && hotPkts > pol.HotPackets:
+		keep = uint64(float64(pol.HotPackets) * pol.KeepFrac)
+	case pol.HotBytes > 0 && hotBytes > pol.HotBytes:
+		// Byte cap: translate to a packet count at the observed mean
+		// packet size, so the trim lands near KeepFrac of the byte cap.
+		keep = uint64(float64(hotPkts) * float64(pol.HotBytes) / float64(hotBytes) * pol.KeepFrac)
+	default:
+		return
+	}
+	if keep >= hotPkts {
+		return
+	}
+	limit := PacketID(s.nextID.Load() - keep)
+	if uint64(limit)-tr.sealedBelow.Load() < pol.MinSealPackets {
+		return
+	}
+	s.sealTo(tr, limit, false)
+}
+
+// SealHot seals every hot packet except the newest keepRecent into cold
+// segments, returning the number sealed. Manual counterpart of the
+// automatic policy trigger (tests, shutdown flush, operators).
+func (s *Store) SealHot(keepRecent uint64) (int, error) {
+	tr := s.tier.Load()
+	if tr == nil {
+		return 0, nil
+	}
+	next := s.nextID.Load()
+	if keepRecent >= next {
+		return 0, nil
+	}
+	return s.sealTo(tr, PacketID(next-keepRecent), true)
+}
+
+// SealBefore seals all packets with TS < ts (plus any later-stamped
+// packets whose IDs interleave below the covering watermark — harmless,
+// they just go cold early). Returns the number of hot packets sealed.
+func (s *Store) SealBefore(ts time.Duration) (int, error) {
+	tr := s.tier.Load()
+	if tr == nil {
+		return 0, nil
+	}
+	var limit PacketID
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		cut := sort.Search(len(sh.packets), func(i int) bool { return sh.packets[i].TS >= ts })
+		if cut > 0 {
+			if last := sh.packets[cut-1].ID + 1; last > limit {
+				limit = last
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if limit == 0 {
+		return 0, nil
+	}
+	return s.sealTo(tr, limit, true)
+}
+
+// sealTo seals all packets with ID < limit. wait=false is the ingest-path
+// trigger: if another seal or compaction is running, skip — the next
+// batch will retry. Returns the number of hot packets moved cold.
+func (s *Store) sealTo(tr *tier, limit PacketID, wait bool) (int, error) {
+	if wait {
+		tr.sealMu.Lock()
+	} else if !tr.sealMu.TryLock() {
+		return 0, nil
+	}
+	defer tr.sealMu.Unlock()
+	if uint64(limit) <= tr.sealedBelow.Load() {
+		return 0, nil
+	}
+	// Collect the prefix under shard read locks. The copies are snapshots:
+	// concurrent ingest only ever appends/inserts at IDs >= limit, so the
+	// prefix cannot change between collection and the swap below.
+	runs := make([][]StoredPacket, 0, len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		cut := sort.Search(len(sh.packets), func(i int) bool { return sh.packets[i].ID >= limit })
+		if cut > 0 {
+			runs = append(runs, append([]StoredPacket(nil), sh.packets[:cut]...))
+		}
+		sh.mu.RUnlock()
+	}
+	if len(runs) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	merged := make([]StoredPacket, 0, total)
+	cur := newMergeCursor(runs)
+	for sp := cur.next(); sp != nil; sp = cur.next() {
+		merged = append(merged, *sp)
+	}
+	newSegs, err := tr.writeSegments(merged, false)
+	if err != nil {
+		return 0, err
+	}
+	tierHook("seal-files")
+	if err := tr.writeManifestLocked(limit, append(append([]*tierSegment(nil), tr.segs...), newSegs...)); err != nil {
+		return 0, err
+	}
+	tierHook("seal-manifest")
+	// Commit point passed: swap the registry and trim the hot slabs under
+	// tier.mu + all shard locks so no query sees the rows double or gone.
+	var removed int
+	var freed uint64
+	tr.mu.Lock()
+	for _, sh := range s.shards {
+		sh.lock()
+	}
+	for _, sh := range s.shards {
+		n, b := sh.trimBelowID(limit)
+		removed += n
+		freed += b
+	}
+	tr.segs = append(tr.segs, newSegs...)
+	tr.sealedBelow.Store(uint64(limit))
+	tr.coldPackets += uint64(total)
+	for _, sg := range newSegs {
+		tr.coldBytes += sg.fileBytes
+	}
+	tr.publishLocked()
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+	tr.mu.Unlock()
+	tierHook("seal-swap")
+	if removed > 0 {
+		s.totPackets.Add(^uint64(removed) + 1)
+		s.totBytes.Add(^freed + 1)
+	}
+	tr.seals.Add(1)
+	tr.sealedPackets.Add(uint64(total))
+	obsTierSeals.Inc()
+	obsTierSealedPkts.Add(uint64(total))
+	return removed, nil
+}
+
+// writeSegments chunks one (TS, ID)-sorted run into target-sized segment
+// files and writes them durably. Seals chunk by ceiling (segments at most
+// one target, balanced so there is no sliver tail); compaction chunks by
+// floor (segments between one and two targets), so a merge always emits
+// strictly fewer files than it consumed and the compactor converges
+// instead of re-cutting the same undersized pieces forever. Caller holds
+// sealMu.
+func (tr *tier) writeSegments(rows []StoredPacket, compact bool) ([]*tierSegment, error) {
+	n := len(rows)
+	target := tr.policy.SegmentPackets
+	nchunks := (n + target - 1) / target
+	if compact {
+		nchunks = n / target
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	for (n+nchunks-1)/nchunks > segMaxCount {
+		nchunks++
+	}
+	size := (n + nchunks - 1) / nchunks // balanced: no sliver tail
+	var out []*tierSegment
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		blob, meta, err := encodeSegment(rows[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		name := tierSegName(tr.nextSeq)
+		tr.nextSeq++
+		if err := writeFileAtomic(tr.dir, name, blob); err != nil {
+			return nil, err
+		}
+		out = append(out, &tierSegment{name: name, meta: meta, fileBytes: uint64(len(blob))})
+	}
+	return out, nil
+}
+
+// CompactTier merges runs of adjacent undersized segments into
+// target-sized ones, returning how many input segments were replaced.
+// Merging re-sorts via the k-way cursor — adjacent seals can interleave
+// in (TS, ID) under concurrent serial ingest, so concatenation would be
+// wrong. A decode failure aborts compaction (never drop data we cannot
+// re-encode) and surfaces on TierStats.Err.
+func (s *Store) CompactTier() (int, error) {
+	tr := s.tier.Load()
+	if tr == nil {
+		return 0, nil
+	}
+	tr.sealMu.Lock()
+	defer tr.sealMu.Unlock()
+	replaced := 0
+	for pass := 0; pass < len(tr.segs); pass++ {
+		lo, hi := tr.findCompactRun()
+		if hi <= lo {
+			break
+		}
+		runs := make([][]StoredPacket, 0, hi-lo)
+		var oldBytes uint64
+		for _, sg := range tr.segs[lo:hi] {
+			rows, err := tr.readSegRows(sg)
+			if err != nil {
+				tr.noteErr(err)
+				return replaced, err
+			}
+			runs = append(runs, rows)
+			oldBytes += sg.fileBytes
+		}
+		total := 0
+		for _, r := range runs {
+			total += len(r)
+		}
+		merged := make([]StoredPacket, 0, total)
+		cur := newMergeCursor(runs)
+		for sp := cur.next(); sp != nil; sp = cur.next() {
+			merged = append(merged, *sp)
+		}
+		newSegs, err := tr.writeSegments(merged, true)
+		if err != nil {
+			return replaced, err
+		}
+		tierHook("compact-files")
+		newList := make([]*tierSegment, 0, len(tr.segs)-(hi-lo)+len(newSegs))
+		newList = append(newList, tr.segs[:lo]...)
+		newList = append(newList, newSegs...)
+		newList = append(newList, tr.segs[hi:]...)
+		if err := tr.writeManifestLocked(PacketID(tr.sealedBelow.Load()), newList); err != nil {
+			return replaced, err
+		}
+		tierHook("compact-manifest")
+		old := tr.segs[lo:hi:hi]
+		var newBytes uint64
+		for _, sg := range newSegs {
+			newBytes += sg.fileBytes
+		}
+		tr.mu.Lock()
+		tr.segs = newList
+		tr.coldBytes += newBytes - oldBytes
+		tr.publishLocked()
+		tr.mu.Unlock()
+		for _, sg := range old {
+			os.Remove(filepath.Join(tr.dir, sg.name))
+		}
+		replaced += len(old)
+		tr.compactions.Add(1)
+		obsTierCompactions.Inc()
+	}
+	return replaced, nil
+}
+
+// findCompactRun picks the first maximal run of >=2 adjacent segments all
+// under the size target whose total stays within two targets (so one
+// compaction emits at most two full segments). Runs that would re-chunk
+// into as many segments as they replace are skipped — every accepted run
+// strictly shrinks the registry, so the compaction loop terminates.
+// Caller holds sealMu.
+func (tr *tier) findCompactRun() (lo, hi int) {
+	target := tr.policy.SegmentPackets
+	for i := 0; i < len(tr.segs); i++ {
+		if tr.segs[i].meta.count >= target {
+			continue
+		}
+		total := tr.segs[i].meta.count
+		j := i + 1
+		for j < len(tr.segs) && tr.segs[j].meta.count < target && total+tr.segs[j].meta.count <= 2*target {
+			total += tr.segs[j].meta.count
+			j++
+		}
+		if out := max(1, total/target); j-i >= 2 && out < j-i {
+			return i, j
+		}
+		i = j - 1
+	}
+	return 0, 0
+}
+
+// RetainCold deletes cold segments whose newest packet is older than
+// `before` — the cold tier's retention valve (the tiered analogue of
+// EvictBefore's data drop). Flows that ended before the horizon are
+// dropped with them. Returns segments deleted.
+func (s *Store) RetainCold(before time.Duration) (int, error) {
+	tr := s.tier.Load()
+	if tr == nil {
+		return 0, nil
+	}
+	tr.sealMu.Lock()
+	defer tr.sealMu.Unlock()
+	var keep, drop []*tierSegment
+	for _, sg := range tr.segs {
+		if sg.meta.maxTS < before {
+			drop = append(drop, sg)
+		} else {
+			keep = append(keep, sg)
+		}
+	}
+	if len(drop) == 0 {
+		return 0, nil
+	}
+	if err := tr.writeManifestLocked(PacketID(tr.sealedBelow.Load()), keep); err != nil {
+		return 0, err
+	}
+	var droppedPkts, droppedBytes uint64
+	for _, sg := range drop {
+		droppedPkts += uint64(sg.meta.count)
+		droppedBytes += sg.fileBytes
+	}
+	tr.mu.Lock()
+	for _, sh := range s.shards {
+		sh.lock()
+	}
+	tr.segs = keep
+	tr.coldPackets -= droppedPkts
+	tr.coldBytes -= droppedBytes
+	for _, sh := range s.shards {
+		for k, fm := range sh.flows {
+			if fm.Last < before {
+				delete(sh.flows, k)
+			}
+		}
+	}
+	tr.publishLocked()
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+	tr.mu.Unlock()
+	for _, sg := range drop {
+		os.Remove(filepath.Join(tr.dir, sg.name))
+	}
+	tr.mu.Lock()
+	tr.publishLocked()
+	tr.mu.Unlock()
+	obsTierRetained.Add(uint64(len(drop)))
+	return len(drop), nil
+}
+
+// StartTierCompactor runs CompactTier (and retention, when the policy
+// sets Retain) on a fixed cadence until the returned stop function is
+// called. No-op (returning a callable stop) when tiering is off.
+func (s *Store) StartTierCompactor(interval time.Duration) (stop func()) {
+	tr := s.tier.Load()
+	if tr == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.CompactTier()
+				if tr.policy.Retain > 0 {
+					s.RetainCold(time.Duration(s.lastTS.Load()) - tr.policy.Retain)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// readSeg loads and frame-validates one segment file. Caller holds
+// tr.mu.RLock (registry membership) or sealMu (mutators).
+func (tr *tier) readSeg(sg *tierSegment) (*segBlob, error) {
+	b, err := os.ReadFile(filepath.Join(tr.dir, sg.name))
+	if err != nil {
+		return nil, err
+	}
+	return parseSegment(b)
+}
+
+// readSegRows fully decodes one segment file.
+func (tr *tier) readSegRows(sg *tierSegment) ([]StoredPacket, error) {
+	b, err := os.ReadFile(filepath.Join(tr.dir, sg.name))
+	if err != nil {
+		return nil, err
+	}
+	return decodeSegmentRows(b)
+}
+
+// segsInWindow returns registered segments overlapping the half-open TS
+// window (to < 0 = unbounded). Caller holds tr.mu.RLock.
+func (tr *tier) segsInWindow(from, to time.Duration) []*tierSegment {
+	var out []*tierSegment
+	for _, sg := range tr.segs {
+		if sg.meta.maxTS < from || (to >= 0 && sg.meta.minTS >= to) {
+			continue
+		}
+		out = append(out, sg)
+	}
+	return out
+}
+
+// tsWindow returns the row interval [rlo, rhi) of tss within [from, to).
+func tsWindow(tss []time.Duration, from, to time.Duration) (int, int) {
+	lo := 0
+	if from > 0 {
+		lo = sort.Search(len(tss), func(i int) bool { return tss[i] >= from })
+	}
+	hi := len(tss)
+	if to >= 0 {
+		hi = sort.Search(len(tss), func(i int) bool { return tss[i] >= to })
+	}
+	return lo, hi
+}
+
+// coldWindowRuns decodes every segment overlapping the window into
+// (TS, ID)-sorted runs — the cold half of the serial scan paths
+// (scanRange and everything built on it). No zone pruning: this is the
+// reference semantics, every row in the window is visited. Caller holds
+// tr.mu.RLock.
+func (s *Store) coldWindowRuns(tr *tier, from, to time.Duration) [][]StoredPacket {
+	segs := tr.segsInWindow(from, to)
+	var out [][]StoredPacket
+	for _, sg := range segs {
+		rows, err := tr.readSegRows(sg)
+		if err != nil {
+			tr.noteErr(err)
+			continue
+		}
+		lo := 0
+		if from > 0 {
+			lo = sort.Search(len(rows), func(i int) bool { return rows[i].TS >= from })
+		}
+		hi := len(rows)
+		if to >= 0 {
+			hi = sort.Search(len(rows), func(i int) bool { return rows[i].TS >= to })
+		}
+		if lo < hi {
+			out = append(out, rows[lo:hi])
+		}
+	}
+	tr.scanned.Add(uint64(len(segs)))
+	obsTierScanned.Add(uint64(len(segs)))
+	return out
+}
+
+// coldSelect evaluates a filter over the cold tier, returning matching
+// rows as per-segment (TS, ID)-sorted runs for the global merge. Segments
+// are pruned by TS bounds and zone maps before any column is read;
+// surviving segments decode in parallel, index-first (candidate rows are
+// intersected from the segment's posting lists, and only candidates are
+// materialized). Caller holds tr.mu.RLock.
+func (s *Store) coldSelect(tr *tier, f *Filter, from, to time.Duration, limit int, qs *queryStats) [][]StoredPacket {
+	segs := tr.pruneSegs(f, from, to)
+	if len(segs) == 0 {
+		return nil
+	}
+	runs := make([][]StoredPacket, len(segs))
+	parallel.For(len(segs), int(s.queryWorkers.Load()), func(i int) {
+		rows, err := s.segSelect(tr, segs[i], f, from, to, limit, qs)
+		if err != nil {
+			tr.noteErr(err)
+			return
+		}
+		runs[i] = rows
+	})
+	out := runs[:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// pruneSegs applies TS-bound and zone-map pruning, recording the prune
+// accounting (pruned = registered segments minus decoded ones, so the
+// E17 prune rate covers both bounds and zone maps). Caller holds
+// tr.mu.RLock.
+func (tr *tier) pruneSegs(f *Filter, from, to time.Duration) []*tierSegment {
+	inWindow := tr.segsInWindow(from, to)
+	considered := len(tr.segs)
+	var keep []*tierSegment
+	for _, sg := range inWindow {
+		if f.plan.indexable && !sg.meta.zone.mayMatch(f.plan.keys) {
+			continue
+		}
+		keep = append(keep, sg)
+	}
+	tr.scanned.Add(uint64(len(keep)))
+	tr.pruned.Add(uint64(considered - len(keep)))
+	obsTierScanned.Add(uint64(len(keep)))
+	obsTierPruned.Add(uint64(considered - len(keep)))
+	return keep
+}
+
+// segSelect evaluates the filter over one segment. Indexable plans touch
+// only the ID/TS/index columns plus the candidate rows' bytes; a plan
+// with no index keys decodes the window and runs the full predicate.
+func (s *Store) segSelect(tr *tier, sg *tierSegment, f *Filter, from, to time.Duration, limit int, qs *queryStats) ([]StoredPacket, error) {
+	sb, err := tr.readSeg(sg)
+	if err != nil {
+		return nil, err
+	}
+	ids, tss, err := sb.decodeTimeID()
+	if err != nil {
+		return nil, err
+	}
+	rlo, rhi := tsWindow(tss, from, to)
+	if rlo >= rhi {
+		return nil, nil
+	}
+	ix, err := sb.decodeIndex()
+	if err != nil {
+		return nil, err
+	}
+	var sel []uint32
+	if cand, ok := ix.segCandidates(&f.plan, uint32(rlo), uint32(rhi)); ok {
+		if len(cand) == 0 {
+			return nil, nil
+		}
+		sel = cand
+		qs.rowsScanned.Add(uint64(len(cand)))
+	} else {
+		sel = make([]uint32, rhi-rlo)
+		for i := range sel {
+			sel[i] = uint32(rlo + i)
+		}
+		qs.rowsScanned.Add(uint64(rhi - rlo))
+	}
+	rows, err := sb.rowsAt(sel, ix, ids, tss)
+	if err != nil {
+		return nil, err
+	}
+	var out []StoredPacket
+	for i := range rows {
+		sp := &rows[i]
+		if f.plan.indexable {
+			if f.plan.residual != nil && !f.plan.residual(sp) {
+				continue
+			}
+		} else if !f.Match(sp) {
+			continue
+		}
+		out = append(out, *sp)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// coldCount counts filter matches in the cold tier. With an indexable
+// plan and no residual, the count comes straight from the candidate
+// row lists — no data column is inflated. Caller holds tr.mu.RLock.
+func (s *Store) coldCount(tr *tier, f *Filter, from, to time.Duration, qs *queryStats) int {
+	segs := tr.pruneSegs(f, from, to)
+	if len(segs) == 0 {
+		return 0
+	}
+	counts := make([]int, len(segs))
+	parallel.For(len(segs), int(s.queryWorkers.Load()), func(i int) {
+		n, err := s.segCount(tr, segs[i], f, from, to, qs)
+		if err != nil {
+			tr.noteErr(err)
+			return
+		}
+		counts[i] = n
+	})
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+func (s *Store) segCount(tr *tier, sg *tierSegment, f *Filter, from, to time.Duration, qs *queryStats) (int, error) {
+	sb, err := tr.readSeg(sg)
+	if err != nil {
+		return 0, err
+	}
+	ids, tss, err := sb.decodeTimeID()
+	if err != nil {
+		return 0, err
+	}
+	rlo, rhi := tsWindow(tss, from, to)
+	if rlo >= rhi {
+		return 0, nil
+	}
+	ix, err := sb.decodeIndex()
+	if err != nil {
+		return 0, err
+	}
+	if cand, ok := ix.segCandidates(&f.plan, uint32(rlo), uint32(rhi)); ok {
+		qs.rowsScanned.Add(uint64(len(cand)))
+		if f.plan.residual == nil {
+			return len(cand), nil
+		}
+		if len(cand) == 0 {
+			return 0, nil
+		}
+		rows, err := sb.rowsAt(cand, ix, ids, tss)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for i := range rows {
+			if f.plan.residual(&rows[i]) {
+				n++
+			}
+		}
+		return n, nil
+	}
+	qs.rowsScanned.Add(uint64(rhi - rlo))
+	sel := make([]uint32, rhi-rlo)
+	for i := range sel {
+		sel[i] = uint32(rlo + i)
+	}
+	rows, err := sb.rowsAt(sel, ix, ids, tss)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := range rows {
+		if f.Match(&rows[i]) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// coldPacket finds one packet by ID in the cold tier. Segment ID ranges
+// can overlap across seal generations (chunking follows (TS, ID) order,
+// not ID order), so every range-covering segment is checked.
+func (s *Store) coldPacket(tr *tier, id PacketID) (StoredPacket, bool) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	for _, sg := range tr.segs {
+		if id < sg.meta.minID || id > sg.meta.maxID {
+			continue
+		}
+		sb, err := tr.readSeg(sg)
+		if err != nil {
+			tr.noteErr(err)
+			continue
+		}
+		ids, tss, err := sb.decodeTimeID()
+		if err != nil {
+			tr.noteErr(err)
+			continue
+		}
+		row := -1
+		for i, v := range ids {
+			if v == id {
+				row = i
+				break
+			}
+		}
+		if row < 0 {
+			continue
+		}
+		ix, err := sb.decodeIndex()
+		if err != nil {
+			tr.noteErr(err)
+			continue
+		}
+		rows, err := sb.rowsAt([]uint32{uint32(row)}, ix, ids, tss)
+		if err != nil {
+			tr.noteErr(err)
+			continue
+		}
+		return rows[0], true
+	}
+	return StoredPacket{}, false
+}
+
+// Little-endian append/read helpers for the manifest.
+func le16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func le64(b []byte, v uint64) []byte {
+	return le32(le32(b, uint32(v)), uint32(v>>32))
+}
+func rd16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+func rd32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func rd64(b []byte) uint64 { return uint64(rd32(b)) | uint64(rd32(b[4:]))<<32 }

@@ -1,0 +1,175 @@
+package datastore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"campuslab/internal/traffic"
+)
+
+// Tier benchmarks (DESIGN.md §14):
+//
+//	go test -bench='BenchmarkSeal|BenchmarkSegmentQuery|BenchmarkEvictBefore' ./internal/datastore
+//
+// BenchmarkSegmentQuery sweeps query shape (selective/absent/broad) ×
+// data placement (hot/cold): `absent` is the zone-map prune-hit case
+// (every segment skipped without touching a column), `selective` is the
+// prune-miss + posting-intersection case, `broad` is the worst case
+// (not indexable, full window decode).
+
+// tierBenchFrames is a mid-sized episode: big enough to fill several
+// segments, small enough that per-iteration store rebuilds stay honest.
+var tierBenchFrames = sync.OnceValue(func() []traffic.Frame {
+	frames := queryBenchFrames()
+	if len(frames) > 20000 {
+		frames = frames[:20000]
+	}
+	return frames
+})
+
+// coldBenchStore builds one fully sealed store per segment-target size.
+// The segment directory must outlive the benchmark that happens to build
+// the store (the cache is shared), so it cannot come from b.TempDir().
+var coldBenchStores sync.Map
+
+func coldBenchStore(b *testing.B, segPackets int) *Store {
+	b.Helper()
+	if st, ok := coldBenchStores.Load(segPackets); ok {
+		return st.(*Store)
+	}
+	dir, err := os.MkdirTemp("", "campuslab-tier-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewSharded(4)
+	if err := st.EnableTiering(TierPolicy{Dir: dir, SegmentPackets: segPackets, MinSealPackets: 1}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.AddBatch(tierBenchFrames(), 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.SealHot(0); err != nil {
+		b.Fatal(err)
+	}
+	coldBenchStores.Store(segPackets, st)
+	return st
+}
+
+// BenchmarkSeal measures the spill path end to end: collect, column-encode,
+// compress, fsync, manifest commit, hot trim.
+func BenchmarkSeal(b *testing.B) {
+	frames := tierBenchFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := NewSharded(4)
+		if err := st.EnableTiering(TierPolicy{Dir: b.TempDir(), SegmentPackets: 4096, MinSealPackets: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.AddBatch(frames, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n, err := st.SealHot(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(frames) {
+			b.Fatalf("sealed %d of %d", n, len(frames))
+		}
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkSegmentQuery: the cold rows live in compressed columns; the
+// sweep shows what each query shape pays for them relative to hot RAM.
+func BenchmarkSegmentQuery(b *testing.B) {
+	cases := []struct{ name, expr string }{
+		{"selective", "proto == udp && dst.port == 53"}, // prune-miss: zones admit, index narrows
+		{"absent", "dst.port == 59999"},                 // prune-hit: zones refute every segment
+		{"broad", "len > 100"},                          // not indexable: full window decode
+	}
+	for _, c := range cases {
+		f := MustFilter(c.expr)
+		for _, tier := range []string{"hot", "cold"} {
+			var st *Store
+			if tier == "hot" {
+				st = queryBenchStore(b, 4)
+			} else {
+				st = coldBenchStore(b, 4096)
+			}
+			b.Run(fmt.Sprintf("expr=%s/tier=%s", c.name, tier), func(b *testing.B) {
+				st.SetQueryWorkers(1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				n := 0
+				for i := 0; i < b.N; i++ {
+					n = st.Count(f)
+				}
+				b.ReportMetric(float64(n), "hits")
+				if tier == "cold" {
+					ts := st.TierStats()
+					if ts.Err != nil {
+						b.Fatal(ts.Err)
+					}
+				}
+			})
+		}
+	}
+	// Prune accounting sanity: the absent query must have skipped every
+	// segment via zone maps.
+	st := coldBenchStore(b, 4096)
+	pre := st.TierStats()
+	st.Count(MustFilter("dst.port == 59999"))
+	post := st.TierStats()
+	if scanned := post.SegmentsScanned - pre.SegmentsScanned; scanned != 0 {
+		b.Fatalf("absent-value query decoded %d segments; zone maps should prune all", scanned)
+	}
+}
+
+// BenchmarkSegmentSelect is BenchmarkSegmentQuery's materializing variant:
+// candidates are decoded and returned, not just counted.
+func BenchmarkSegmentSelect(b *testing.B) {
+	f := MustFilter("proto == udp && dst.port == 53")
+	st := coldBenchStore(b, 4096)
+	st.SetQueryWorkers(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n = len(st.Select(f, 0))
+	}
+	if n == 0 {
+		b.Fatal("selective cold Select matched nothing; segment reads are failing")
+	}
+	if ts := st.TierStats(); ts.Err != nil {
+		b.Fatal(ts.Err)
+	}
+	b.ReportMetric(float64(n), "hits")
+}
+
+// BenchmarkEvictBefore pins the untiered eviction path (per-shard slab cut
+// + full posting trim): the tiered EvictBefore routes to SealBefore, so
+// this guards the legacy drop path against regressions.
+func BenchmarkEvictBefore(b *testing.B) {
+	frames := tierBenchFrames()
+	var cut time.Duration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := NewSharded(4)
+		if _, err := st.AddBatch(frames, 0); err != nil {
+			b.Fatal(err)
+		}
+		if cut == 0 {
+			cut = time.Duration(st.lastTS.Load()) / 2
+		}
+		b.StartTimer()
+		if n := st.EvictBefore(cut); n == 0 {
+			b.Fatal("evicted nothing")
+		}
+	}
+}

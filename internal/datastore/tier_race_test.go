@@ -1,0 +1,133 @@
+package datastore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTierIngestSealQueryRace drives concurrent ingest, automatic and
+// manual sealing, compaction, retention and the full query surface against
+// one tiered store. It asserts no torn reads (counts never regress, scan
+// stays (TS, ID)-sorted with unique IDs) and is primarily a -race gate
+// for the tier.mu/shard-lock/sealMu ordering.
+func TestTierIngestSealQueryRace(t *testing.T) {
+	frames := tierFrames(t)
+	if len(frames) > 3000 {
+		frames = frames[:3000]
+	}
+	s := NewSharded(4)
+	if err := s.EnableTiering(TierPolicy{
+		Dir: t.TempDir(), HotPackets: 1024, KeepFrac: 0.5,
+		MinSealPackets: 32, SegmentPackets: 128,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stopCompact := s.StartTierCompactor(2 * time.Millisecond)
+	defer stopCompact()
+
+	f, err := ParseFilter("proto == udp && dst.port == 53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingested atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // ingester
+		defer wg.Done()
+		defer close(done)
+		for lo := 0; lo < len(frames); {
+			hi := lo + 100
+			if hi > len(frames) {
+				hi = len(frames)
+			}
+			if _, err := s.AddBatch(frames[lo:hi], 2); err != nil {
+				t.Errorf("AddBatch: %v", err)
+				return
+			}
+			ingested.Add(uint64(hi - lo))
+			lo = hi
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // manual tier churn racing the automatic trigger
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			s.SealHot(256)
+			s.CompactTier()
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // queries
+		defer wg.Done()
+		var lastTotal uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			// Ingested count is a floor for what queries must see: a batch
+			// is counted only after AddBatch returned.
+			floor := ingested.Load()
+			var n uint64
+			var lastID PacketID
+			var lastTS time.Duration
+			first := true
+			s.Scan(func(sp *StoredPacket) bool {
+				if !first && (sp.TS < lastTS || (sp.TS == lastTS && sp.ID <= lastID)) {
+					t.Errorf("scan order violated: (%v,%d) after (%v,%d)", sp.TS, sp.ID, lastTS, lastID)
+					return false
+				}
+				first = false
+				lastTS, lastID = sp.TS, sp.ID
+				n++
+				return true
+			})
+			if n < floor {
+				t.Errorf("scan saw %d packets, %d were already acked", n, floor)
+				return
+			}
+			if n < lastTotal {
+				t.Errorf("total packets regressed: %d -> %d", lastTotal, n)
+				return
+			}
+			lastTotal = n
+			s.Select(f, 50)
+			s.Count(f)
+			s.Flows()
+			s.TierStats()
+			s.Stats()
+		}
+	}()
+
+	wg.Wait()
+	stopCompact()
+
+	// Converged store must equal the untiered reference exactly.
+	ref := NewSharded(4)
+	for lo := 0; lo < len(frames); {
+		hi := lo + 100
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		if _, err := ref.AddBatch(frames[lo:hi], 2); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	compareTierPrints(t, "post-race", tierFingerprint(t, ref), tierFingerprint(t, s))
+	if ts := s.TierStats(); ts.Seals == 0 || ts.ColdPackets == 0 {
+		t.Fatalf("race test never sealed: %+v", ts)
+	}
+}

@@ -107,6 +107,7 @@ func All() []Runner {
 		{"E14", "chaos road test: mitigation under injected faults", E14ChaosLoop},
 		{"E15", "ensemble-in-dataplane frontier vs resource budgets", E15EnsembleFrontier},
 		{"E16", "chaos soak: crash/restart durability and self-healing lifecycle", E16ChaosSoak},
+		{"E17", "tiered retention: bounded hot slab over a 25x stream", E17TieredRetention},
 	}
 }
 

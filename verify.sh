@@ -43,15 +43,25 @@ go test -run=NONE -bench=BenchmarkEnsembleInference -benchtime=20x ./internal/da
 echo "==> bench smoke (store query engine: index vs scan)"
 go test -run=NONE -bench='BenchmarkSelect$|BenchmarkCount$' -benchtime=5x ./internal/datastore
 
-echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser, ensemble compiler, WAL replay)"
+echo "==> bench smoke (cold tier: seal, segment query sweep, eviction)"
+go test -run=NONE -bench='BenchmarkSeal$|BenchmarkSegmentQuery|BenchmarkEvictBefore' -benchtime=2x ./internal/datastore
+
+echo "==> tiered-store equivalence gate (tiered == untiered, byte for byte)"
+go test -run 'TestTieredStoreEquivalence' -short ./internal/datastore
+
+echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser, ensemble compiler, WAL replay, segment codec)"
 go test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/packet
 go test -run=FuzzDispatch -fuzz=FuzzDispatch -fuzztime=5s ./cmd/labd
 go test -run=FuzzParseFilter -fuzz=FuzzParseFilter -fuzztime=5s ./internal/datastore
 go test -run=FuzzEnsembleCompile -fuzz=FuzzEnsembleCompile -fuzztime=5s ./internal/dataplane
 go test -run=FuzzWALReplay -fuzz=FuzzWALReplay -fuzztime=5s ./internal/datastore
+go test -run=FuzzSegmentDecode -fuzz=FuzzSegmentDecode -fuzztime=5s ./internal/datastore
 
 echo "==> crash-recovery gate (kill -9 mid-ingest must lose nothing acked)"
 go test -run 'TestWALCrashKill9|TestRecoverTornThenCrashAgain|TestConcurrentIngestCheckpointQuery' ./internal/datastore
+
+echo "==> tier crash gate (kill -9 mid-seal/mid-compact must lose nothing acked)"
+go test -run 'TestTierCrashKill9|TestTierCrashSwapEquivalence' ./internal/datastore
 
 echo "==> chaos-soak smoke (E16: durability + self-healing lifecycle)"
 go test -run 'TestAllExperimentsRun/E16' ./internal/experiments
