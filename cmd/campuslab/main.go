@@ -6,6 +6,7 @@
 //	campuslab experiment E5 -md        # run one, render markdown
 //	campuslab query -pcap f.pcap -expr 'dns && dns.qtype == ANY' [-limit 20]
 //	campuslab develop                   # run the Figure 2 development loop and print the rules
+//	campuslab fleet [-tcp]              # federated development round across 3 campuses
 //	campuslab list                      # list experiments
 package main
 
@@ -59,6 +60,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "develop":
 		err = cmdDevelop(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "list":
 		for _, r := range experiments.All() {
 			fmt.Printf("%-4s %s\n", r.ID, r.Name)
@@ -81,6 +84,7 @@ commands:
   experiment <id|all> [-md]   run experiments (see 'campuslab list')
   query -pcap F -expr E       query a pcap through the data store
   develop [-target L]        run the development loop, print operator rules
+  fleet [-tcp]                federated development round across 3 campuses
   list                        list experiment ids`)
 }
 

@@ -21,7 +21,12 @@
 // endpoint: /metrics (Prometheus text format), /debug/pprof/* and a
 // /debug/trace JSON dump of recent slow-loop spans.
 //
-// Usage: labd -listen 127.0.0.1:7077 [-seed 3] [-max-conns 64] [-drain 10s] [-http 127.0.0.1:7078]
+// With -ingest-listen the daemon is a fleet node: remote campuses stream
+// labeled packet batches into its store over the binary ingest protocol
+// (see internal/fleet), riding the same admission and WAL path as local
+// collection.
+//
+// Usage: labd -listen 127.0.0.1:7077 [-seed 3] [-max-conns 64] [-drain 10s] [-http 127.0.0.1:7078] [-ingest-listen 127.0.0.1:7079]
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"campuslab/internal/dataplane"
 	"campuslab/internal/datastore"
 	"campuslab/internal/features"
+	"campuslab/internal/fleet"
 	"campuslab/internal/ml"
 	"campuslab/internal/obs"
 	"campuslab/internal/traffic"
@@ -72,6 +78,7 @@ func main() {
 		tierDir  = flag.String("tier-dir", "", "cold-tier segment directory; empty = hot tier only")
 		tierHot  = flag.Uint64("tier-hot", 500_000, "hot-tier packet cap before history seals to cold segments (with -tier-dir)")
 		tierComp = flag.Duration("tier-compact", time.Minute, "cold-tier compaction sweep interval, 0 = disabled (with -tier-dir)")
+		ingestLn = flag.String("ingest-listen", "", "binary fleet-ingest listen address (remote campuses stream batches here); empty = disabled")
 	)
 	flag.Parse()
 
@@ -102,6 +109,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *ingestLn != "" {
+		fsrv, err := fleet.NewServer(fleet.ServerConfig{Store: srv.lab.Store()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fln, err := net.Listen("tcp", *ingestLn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet ingest on %s", fln.Addr())
+		go func() {
+			<-ctx.Done()
+			fln.Close()
+			fsrv.Close()
+		}()
+		go func() {
+			if err := fsrv.Serve(fln); err != nil {
+				log.Printf("fleet ingest: %v", err)
+			}
+		}()
+	}
 	if *httpAddr != "" {
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {

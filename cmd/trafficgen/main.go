@@ -2,10 +2,15 @@
 // benign campus workload with optional attack episodes, fully labeled in a
 // sidecar CSV so downstream tools retain ground truth.
 //
+// With -stream the frames go to a fleet ingest server (labd
+// -ingest-listen) instead of a pcap: the generator becomes a remote
+// campus tap feeding a fleet node's store over the binary protocol.
+//
 // Usage:
 //
 //	trafficgen -out campus.pcap -duration 10s -fps 200 \
 //	    -attack dns-amp -attack-rate 2000 -attack-start 2s -seed 7
+//	trafficgen -stream 127.0.0.1:7079 -campus ucsb -duration 10s
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"campuslab/internal/capture"
+	"campuslab/internal/fleet"
 	"campuslab/internal/traffic"
 )
 
@@ -44,6 +50,9 @@ func run(args []string) error {
 		attackStart = fs.Duration("attack-start", 2*time.Second, "attack episode start")
 		attackDur   = fs.Duration("attack-duration", 0, "attack episode duration (default: half the scenario)")
 		snaplen     = fs.Int("snaplen", 0, "pcap snap length (0 = full frames)")
+		stream      = fs.String("stream", "", "stream frames to a fleet ingest server at this address instead of writing a pcap")
+		campus      = fs.String("campus", "trafficgen", "campus name for the fleet stream (with -stream)")
+		batchSize   = fs.Int("batch", 0, "frames per streamed batch (0 = default; with -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +80,21 @@ func run(args []string) error {
 		}))
 	}
 	gen := traffic.NewMerge(gens...)
+
+	if *stream != "" {
+		c, err := fleet.DialCampus(fleet.ClientConfig{Addr: *stream, Campus: *campus})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		st, err := c.Stream(gen, *batchSize)
+		if err != nil {
+			return err
+		}
+		log.Printf("streamed %d frames to %s as campus %q (%d batches, %d stored, %d shed)",
+			st.Frames, *stream, *campus, st.Batches, st.Stored, st.Shed)
+		return nil
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -9,7 +9,9 @@
 package campuslab_test
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"campuslab/internal/control"
 	"campuslab/internal/core"
 	"campuslab/internal/features"
+	"campuslab/internal/fleet"
 	"campuslab/internal/obs"
 	"campuslab/internal/roadtest"
 	"campuslab/internal/traffic"
@@ -158,6 +161,109 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(serial, "roadtest: ") || !strings.Contains(serial, "metric: ") {
 		t.Fatalf("fingerprint incomplete:\n%s", serial)
+	}
+}
+
+// fleetFingerprint runs one federated development round over three small
+// campus scenarios and flattens everything it produced — the full
+// train-here/test-there recall and accuracy matrices, the federated and
+// pooled rows, the serialized merged ensemble, and the coordinator's
+// transition log — into one comparable string. Values are printed at
+// shortest-exact precision so a single differing bit anywhere fails.
+func fleetFingerprint(t *testing.T, tcp bool, shards, workers int) string {
+	t.Helper()
+	specs := []core.CampusSpec{
+		{Name: "ucsb", HostsPerDept: 15, FlowsPerSecond: 30, AttackRate: 400, StartHour: 14, Seed: 901},
+		{Name: "princeton", HostsPerDept: 20, FlowsPerSecond: 40, AttackRate: 250, StartHour: 17, Seed: 902},
+		{Name: "columbia", HostsPerDept: 12, FlowsPerSecond: 25, AttackRate: 500, StartHour: 17, Seed: 903},
+	}
+	campuses := make([]fleet.Campus, len(specs))
+	for i, spec := range specs {
+		spec.Shards, spec.Workers = shards, workers
+		lab, gen, err := core.BuildCampusScenario(spec, traffic.LabelPortScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tcp {
+			srv, err := fleet.NewServer(fleet.ServerConfig{Store: lab.Store(), Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go srv.Serve(ln)
+			cl, err := fleet.DialCampus(fleet.ClientConfig{Addr: ln.Addr().String(), Campus: spec.Name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.Stream(gen, 0); err != nil {
+				t.Fatal(err)
+			}
+			cl.Close()
+			ln.Close()
+			srv.Close()
+		} else if _, err := lab.Collect(gen); err != nil {
+			t.Fatal(err)
+		}
+		campuses[i] = fleet.Campus{Name: spec.Name, Store: lab.Store()}
+	}
+
+	res, err := fleet.RunFederated(campuses, fleet.CoordinatorConfig{
+		Target: traffic.LabelPortScan, ForestTrees: 6, ForestDepth: 6, Seed: 904, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp strings.Builder
+	for i := range res.Campuses {
+		for j := range res.Campuses {
+			fmt.Fprintf(&fp, "roadtest %s->%s: recall=%v accuracy=%v\n",
+				res.Campuses[i], res.Campuses[j], res.Recall[i][j], res.Accuracy[i][j])
+		}
+	}
+	for j := range res.Campuses {
+		fmt.Fprintf(&fp, "federated @%s: recall=%v accuracy=%v pooled recall=%v accuracy=%v\n",
+			res.Campuses[j], res.FederatedRecall[j], res.FederatedAccuracy[j],
+			res.PooledRecall[j], res.PooledAccuracy[j])
+	}
+	fmt.Fprintf(&fp, "merged: trees=%d bytes=%d sha256=%x\n",
+		res.Merged.NumTrees(), len(res.MergedBytes), sha256.Sum256(res.MergedBytes))
+	for _, line := range res.Log {
+		fp.WriteString("log: " + line + "\n")
+	}
+	return fp.String()
+}
+
+// TestGoldenFleetDeterminism pins the tentpole's core claim: a federated
+// round's entire output is byte-identical whether the fleet is one
+// process ingesting locally or three campuses streaming over loopback
+// TCP, and whatever the store shard count or worker fan-out. 8 configs,
+// 1 fingerprint.
+func TestGoldenFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8 federated rounds; skipped in -short")
+	}
+	var ref, refName string
+	for _, tcp := range []bool{false, true} {
+		for _, shards := range []int{1, 4} {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("tcp=%v,shards=%d,workers=%d", tcp, shards, workers)
+				fp := fleetFingerprint(t, tcp, shards, workers)
+				if ref == "" {
+					ref, refName = fp, name
+					continue
+				}
+				if fp != ref {
+					t.Errorf("fleet fingerprint (%s) diverges from (%s)\ndiff at: %s",
+						name, refName, firstDiff(ref, fp))
+				}
+			}
+		}
+	}
+	if !strings.Contains(ref, "log: round complete") || !strings.Contains(ref, "merged: trees=18") {
+		t.Fatalf("fleet fingerprint incomplete:\n%s", ref)
 	}
 }
 

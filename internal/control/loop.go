@@ -483,11 +483,9 @@ func (l *Loop) installMitigation(victim netip.Addr, installAt time.Duration) (ti
 			return 0, false
 		}
 		l.ctr.installRetries.Inc()
-		installAt += backoff + time.Duration(l.jitter.Int63n(int64(backoff)/2+1))
-		backoff *= 2
-		if backoff > l.retry.Max {
-			backoff = l.retry.Max
-		}
+		var delay time.Duration
+		delay, backoff = l.retry.Backoff(backoff, l.jitter)
+		installAt += delay
 	}
 }
 

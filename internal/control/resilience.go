@@ -1,6 +1,7 @@
 package control
 
 import (
+	"math/rand"
 	"time"
 
 	"campuslab/internal/ml"
@@ -24,6 +25,22 @@ type RetryPolicy struct {
 	// Seed drives the jitter stream (default 1); jitter is uniform in
 	// [0, backoff/2] and fully deterministic per seed.
 	Seed int64
+}
+
+// Backoff computes the jittered delay to wait before the next retry
+// given the current backoff step, and returns the doubled (Max-capped)
+// step for the retry after that. jitter must be a caller-owned seeded
+// stream so the schedule is deterministic; the delay is step plus a
+// uniform draw from [0, step/2]. Every retry loop in the system — the
+// React install path here, the fleet ingest client's reconnect loop —
+// shares this schedule.
+func (p RetryPolicy) Backoff(step time.Duration, jitter *rand.Rand) (delay, next time.Duration) {
+	delay = step + time.Duration(jitter.Int63n(int64(step)/2+1))
+	next = step * 2
+	if next > p.Max {
+		next = p.Max
+	}
+	return delay, next
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {

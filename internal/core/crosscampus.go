@@ -26,6 +26,11 @@ type CampusSpec struct {
 	StartHour int
 	// Seed makes this campus's traffic unique and reproducible.
 	Seed int64
+	// Shards/Workers shape the campus's local store and ingest fan-out
+	// (0 = the Lab defaults). Store content is shard- and worker-count
+	// independent; these only tune throughput.
+	Shards  int
+	Workers int
 }
 
 // Algorithm is the "open-sourced learning algorithm" every campus runs
@@ -114,7 +119,7 @@ func RunCrossCampus(specs []CampusSpec, algo Algorithm) (*CrossCampusResult, err
 
 	for i, spec := range specs {
 		res.Campuses[i] = spec.Name
-		lab, gen, err := buildCampusScenario(spec, algo.Target)
+		lab, gen, err := BuildCampusScenario(spec, algo.Target)
 		if err != nil {
 			return nil, fmt.Errorf("core: campus %s: %w", spec.Name, err)
 		}
@@ -157,8 +162,11 @@ func RunCrossCampus(specs []CampusSpec, algo Algorithm) (*CrossCampusResult, err
 	return res, nil
 }
 
-// buildCampusScenario assembles one campus's lab and labeled scenario.
-func buildCampusScenario(spec CampusSpec, target traffic.Label) (*Lab, traffic.Generator, error) {
+// BuildCampusScenario assembles one campus's lab and labeled scenario:
+// the local collection side of both the cross-campus experiment and the
+// fleet coordinator (whose remote campuses stream the same generator
+// over the ingest protocol instead of collecting in process).
+func BuildCampusScenario(spec CampusSpec, target traffic.Label) (*Lab, traffic.Generator, error) {
 	hosts := spec.HostsPerDept
 	if hosts <= 0 {
 		hosts = 50
@@ -176,7 +184,7 @@ func buildCampusScenario(spec CampusSpec, target traffic.Label) (*Lab, traffic.G
 		rate = 700
 	}
 	plan := traffic.DefaultPlan(hosts)
-	lab, err := NewLab(Config{Name: spec.Name, Plan: plan})
+	lab, err := NewLab(Config{Name: spec.Name, Plan: plan, Shards: spec.Shards, Workers: spec.Workers})
 	if err != nil {
 		return nil, nil, err
 	}

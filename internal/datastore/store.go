@@ -516,6 +516,17 @@ func (s *Store) addBatch(frames []traffic.Frame, links []uint16, workers int) Pa
 	return base
 }
 
+// AddBatchLinks is AddBatchAdmit with per-frame link ids (nil = link 0
+// everywhere) — the remote-ingest path, where frames arrive from another
+// campus's taps with their capture links attached. links, when non-nil,
+// must be parallel to frames.
+func (s *Store) AddBatchLinks(frames []traffic.Frame, links []uint16, workers int) (IngestResult, error) {
+	if links != nil && len(links) != len(frames) {
+		return IngestResult{}, fmt.Errorf("datastore: %d links for %d frames", len(links), len(frames))
+	}
+	return s.appendBatch(frames, links, workers)
+}
+
 // AddRecords stores captured records through the batched path. Records
 // carry no ground-truth labels (they came off the wire, not a generator);
 // per-record link ids flow through ingest so the link index stays exact.

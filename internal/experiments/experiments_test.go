@@ -16,6 +16,15 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
+			if raceEnabled && r.ID == "E18" {
+				// The federated round trains 3×12 forests per matrix cell
+				// source; under the race detector that alone pushes the
+				// package past the default -timeout. The fleet stack it
+				// exercises has its own dedicated race gate in
+				// internal/fleet (concurrent streams, coordinator during
+				// live ingest), so nothing is lost by skipping here.
+				t.Skip("race-covered by internal/fleet's race tests")
+			}
 			tb, err := r.Run()
 			if err != nil {
 				t.Fatal(err)
@@ -53,6 +62,9 @@ func TestFind(t *testing.T) {
 func TestE3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
+	}
+	if raceEnabled {
+		t.Skip("full-run duplicate; E3 is race-covered by TestAllExperimentsRun/E3")
 	}
 	tb, err := E3CaptureRate()
 	if err != nil {
@@ -95,6 +107,9 @@ func TestE6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
+	if raceEnabled {
+		t.Skip("full-run duplicate; E6 is race-covered by TestAllExperimentsRun/E6")
+	}
 	tb, err := E6ModelExtraction()
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +130,9 @@ func TestE6Shape(t *testing.T) {
 func TestE15Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
+	}
+	if raceEnabled {
+		t.Skip("full-run duplicate; E15 is race-covered by TestAllExperimentsRun/E15")
 	}
 	tb, err := E15EnsembleFrontier()
 	if err != nil {

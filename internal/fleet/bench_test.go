@@ -1,0 +1,48 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"campuslab/internal/datastore"
+	"campuslab/internal/fleet"
+)
+
+// BenchmarkFleetIngest measures the streaming path end to end and puts a
+// number on the fleet-mode tax: the same batches landed through a local
+// AddBatch call versus framed, CRC'd, and acked over a loopback TCP
+// connection. The delta is pure protocol + syscall cost — the store work
+// is identical by construction (TestStreamMatchesLocalIngest).
+func BenchmarkFleetIngest(b *testing.B) {
+	const batchSize = 512
+	frames := synthFrames(batchSize, 42)
+
+	b.Run("inprocess", func(b *testing.B) {
+		st := datastore.NewSharded(4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.AddBatchLinks(frames, nil, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(batchSize))
+	})
+
+	b.Run("loopback", func(b *testing.B) {
+		st := datastore.NewSharded(4)
+		addr := startServer(b, st, fleet.ServerConfig{Workers: 1})
+		cl, err := fleet.DialCampus(fleet.ClientConfig{Addr: addr, Campus: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.SendBatch(frames); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(batchSize))
+	})
+}

@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"fmt"
+
+	"campuslab/internal/datastore"
+	"campuslab/internal/features"
+	"campuslab/internal/ml"
+	"campuslab/internal/obs"
+	"campuslab/internal/traffic"
+)
+
+var (
+	obsCoordRounds   = obs.Default.Counter("campuslab_fleet_coordinator_rounds_total")
+	obsCoordCampuses = obs.Default.Gauge("campuslab_fleet_coordinator_campuses")
+)
+
+// Campus is one fleet member as the coordinator sees it: a name and the
+// packet store its taps (local or streamed over the ingest protocol)
+// have filled.
+type Campus struct {
+	Name  string
+	Store *datastore.Store
+	// Features overrides the standard packet featurizer when non-nil
+	// (tests inject canned datasets; Store may then be nil).
+	Features func() *features.Dataset
+}
+
+// CoordinatorConfig parameterizes one federated development round.
+type CoordinatorConfig struct {
+	// Target is the attack class the round trains detectors for.
+	Target traffic.Label
+	// ForestTrees/ForestDepth shape each campus's forest (defaults 12/8).
+	ForestTrees int
+	ForestDepth int
+	// Seed drives shuffling and tree induction; campus i shuffles with
+	// Seed+i so campuses stay decorrelated but the round is reproducible.
+	Seed int64
+	// Workers bounds tree-induction and evaluation parallelism (0 =
+	// GOMAXPROCS); results are worker-count independent.
+	Workers int
+	// TrainFrac is each campus's train split (default 0.7).
+	TrainFrac float64
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.ForestTrees <= 0 {
+		c.ForestTrees = 12
+	}
+	if c.ForestDepth <= 0 {
+		c.ForestDepth = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TrainFrac <= 0 || c.TrainFrac >= 1 {
+		c.TrainFrac = 0.7
+	}
+	return c
+}
+
+// FederatedResult is one coordinator round's output. All matrices are
+// indexed [trainCampus][testCampus] in the caller's campus order; the
+// Log is transition-ordered and contains no wall-clock content, so a
+// round is byte-comparable across runs, fleet sizes, and transports.
+type FederatedResult struct {
+	Campuses []string
+	// Recall[i][j] is campus i's forest recall on campus j's held-out
+	// test traffic — the train-here/test-there generalization matrix.
+	Recall   [][]float64
+	Accuracy [][]float64
+	// FederatedRecall[j] is the merged (vote-pooled) ensemble's recall
+	// on campus j's test set; PooledRecall[j] is the pooled-feature
+	// variant (one forest trained on the concatenated train splits).
+	FederatedRecall   []float64
+	FederatedAccuracy []float64
+	PooledRecall      []float64
+	PooledAccuracy    []float64
+	// Merged is the federated ensemble; MergedBytes its canonical
+	// serialized form (the determinism fingerprint input).
+	Merged      *ml.Forest
+	MergedBytes []byte
+	Pooled      *ml.Forest
+	// Log records the round's state transitions in execution order.
+	Log []string
+}
+
+// RunFederated executes one Figure-2 development round across the fleet:
+// per-campus featurize → split → fit, then an all-pairs road-test matrix
+// plus two sharing strategies — vote pooling (merge the forests) and
+// feature pooling (concatenate the train splits). Deterministic for a
+// fixed campus list and config at any worker count.
+func RunFederated(campuses []Campus, cfg CoordinatorConfig) (*FederatedResult, error) {
+	if len(campuses) == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs at least one campus")
+	}
+	cfg = cfg.withDefaults()
+	obsCoordRounds.Inc()
+	obsCoordCampuses.Set(float64(len(campuses)))
+
+	res := &FederatedResult{Campuses: make([]string, len(campuses))}
+	logf := func(format string, args ...any) {
+		res.Log = append(res.Log, fmt.Sprintf(format, args...))
+	}
+	logf("round start: %d campuses, target=%d, trees=%d, depth=%d",
+		len(campuses), cfg.Target, cfg.ForestTrees, cfg.ForestDepth)
+
+	forests := make([]*ml.Forest, len(campuses))
+	tests := make([]*features.Dataset, len(campuses))
+	pooledTrain := &features.Dataset{}
+	for i, campus := range campuses {
+		res.Campuses[i] = campus.Name
+		var ds *features.Dataset
+		if campus.Features != nil {
+			ds = campus.Features()
+		} else {
+			if campus.Store == nil {
+				return nil, fmt.Errorf("fleet: campus %q has no store", campus.Name)
+			}
+			ds = features.FromPackets(campus.Store, 1).BinaryRelabel(cfg.Target)
+		}
+		if ds.Len() < 10 {
+			return nil, fmt.Errorf("fleet: campus %q has %d examples (need >=10)", campus.Name, ds.Len())
+		}
+		ds.Shuffle(cfg.Seed + int64(i))
+		train, test := ds.Split(cfg.TrainFrac)
+		counts := train.ClassCounts()
+		logf("campus %s: %d examples (%d train / %d test, %d positive train)",
+			campus.Name, ds.Len(), train.Len(), test.Len(), counts[1])
+		f, err := ml.FitForest(train, 2, ml.ForestConfig{
+			Trees:    cfg.ForestTrees,
+			MaxDepth: cfg.ForestDepth,
+			Seed:     cfg.Seed,
+			Workers:  cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: campus %q fit: %w", campus.Name, err)
+		}
+		forests[i], tests[i] = f, test
+		if err := pooledTrain.Append(train); err != nil {
+			return nil, fmt.Errorf("fleet: pooling campus %q: %w", campus.Name, err)
+		}
+		logf("campus %s: forest fitted (%d trees, %d nodes)",
+			campus.Name, f.NumTrees(), f.TotalNodes())
+	}
+
+	// Train-here/test-there matrix.
+	res.Recall = make([][]float64, len(campuses))
+	res.Accuracy = make([][]float64, len(campuses))
+	for i, f := range forests {
+		res.Recall[i] = make([]float64, len(campuses))
+		res.Accuracy[i] = make([]float64, len(campuses))
+		for j, test := range tests {
+			cm := ml.Evaluate(f, test)
+			res.Recall[i][j] = cm.Recall(1)
+			res.Accuracy[i][j] = cm.Accuracy()
+			logf("roadtest train=%s test=%s recall=%.6f accuracy=%.6f",
+				res.Campuses[i], res.Campuses[j], res.Recall[i][j], res.Accuracy[i][j])
+		}
+	}
+
+	// Vote pooling: merge every campus's forest into one ensemble.
+	merged, err := ml.MergeForests(forests...)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: merge: %w", err)
+	}
+	res.Merged = merged
+	res.MergedBytes, err = merged.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshal merged: %w", err)
+	}
+	logf("federated ensemble: %d trees from %d campuses, %d bytes",
+		merged.NumTrees(), len(campuses), len(res.MergedBytes))
+
+	// Feature pooling: one forest over the concatenated train splits
+	// (campus order, no re-shuffle — Append order is the spec).
+	pooled, err := ml.FitForest(pooledTrain, 2, ml.ForestConfig{
+		Trees:    cfg.ForestTrees,
+		MaxDepth: cfg.ForestDepth,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: pooled fit: %w", err)
+	}
+	res.Pooled = pooled
+
+	res.FederatedRecall = make([]float64, len(campuses))
+	res.FederatedAccuracy = make([]float64, len(campuses))
+	res.PooledRecall = make([]float64, len(campuses))
+	res.PooledAccuracy = make([]float64, len(campuses))
+	for j, test := range tests {
+		cm := ml.Evaluate(merged, test)
+		res.FederatedRecall[j] = cm.Recall(1)
+		res.FederatedAccuracy[j] = cm.Accuracy()
+		pm := ml.Evaluate(pooled, test)
+		res.PooledRecall[j] = pm.Recall(1)
+		res.PooledAccuracy[j] = pm.Accuracy()
+		logf("federated test=%s recall=%.6f accuracy=%.6f pooled recall=%.6f accuracy=%.6f",
+			res.Campuses[j], res.FederatedRecall[j], res.FederatedAccuracy[j],
+			res.PooledRecall[j], res.PooledAccuracy[j])
+	}
+	logf("round complete")
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package fleet_test
+
+import (
+	"sync"
+	"testing"
+
+	"campuslab/internal/datastore"
+	"campuslab/internal/features"
+	"campuslab/internal/fleet"
+	"campuslab/internal/traffic"
+)
+
+// TestRaceConcurrentCampusStreams drives three campuses into one shared
+// listener and store at once — the shape `go test -race` must bless:
+// every frame lands exactly once with a unique PacketID, whatever the
+// interleaving.
+func TestRaceConcurrentCampusStreams(t *testing.T) {
+	st := datastore.NewSharded(4)
+	addr := startServer(t, st, fleet.ServerConfig{Workers: 2})
+
+	const perCampus = 600
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i, campus := range []string{"ucsb", "princeton", "columbia"} {
+		wg.Add(1)
+		go func(i int, campus string) {
+			defer wg.Done()
+			cl, err := fleet.DialCampus(fleet.ClientConfig{Addr: addr, Campus: campus})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			stats, err := cl.Stream(&sliceGen{frames: synthFrames(perCampus, i+1)}, 64)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if stats.Stored != perCampus {
+				errs <- errStored(stats.Stored)
+			}
+		}(i, campus)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := st.Stats().Packets; got != 3*perCampus {
+		t.Fatalf("store has %d packets, want %d", got, 3*perCampus)
+	}
+	seen := make(map[datastore.PacketID]bool, 3*perCampus)
+	st.Scan(func(p *datastore.StoredPacket) bool {
+		if seen[p.ID] {
+			t.Errorf("duplicate PacketID %d", p.ID)
+		}
+		seen[p.ID] = true
+		return true
+	})
+	if len(seen) != 3*perCampus {
+		t.Fatalf("%d unique ids, want %d", len(seen), 3*perCampus)
+	}
+}
+
+type errStored uint64
+
+func (e errStored) Error() string { return "short store" }
+
+// TestRaceCoordinatorDuringStreaming runs a federated round while every
+// campus is still actively streaming into its store — the coordinator
+// reads (featurize = store scans) race against live ingest appends. The
+// round must complete and the test must stay race-detector clean.
+func TestRaceCoordinatorDuringStreaming(t *testing.T) {
+	const campuses = 3
+	stores := make([]*datastore.Store, campuses)
+	campusList := make([]fleet.Campus, campuses)
+	names := []string{"ucsb", "princeton", "columbia"}
+	var wg sync.WaitGroup
+	errs := make(chan error, campuses)
+	for i := 0; i < campuses; i++ {
+		i := i
+		stores[i] = datastore.NewSharded(2)
+		addr := startServer(t, stores[i], fleet.ServerConfig{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := fleet.DialCampus(fleet.ClientConfig{Addr: addr, Campus: names[i]})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if _, err := cl.Stream(&sliceGen{frames: synthFrames(2000, i+5)}, 32); err != nil {
+				errs <- err
+			}
+		}()
+		campusList[i] = fleet.Campus{
+			Name: names[i],
+			// The featurizer stands in for FromPackets but still scans the
+			// live store, so coordinator reads overlap ingest writes.
+			Features: func() *features.Dataset {
+				stores[i].Scan(func(p *datastore.StoredPacket) bool { return p.ID != 0 })
+				return synthDataset(i, 300)
+			},
+		}
+	}
+
+	res, err := fleet.RunFederated(campusList, fleet.CoordinatorConfig{
+		Target: traffic.LabelDNSAmp, ForestTrees: 4, ForestDepth: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FederatedRecall) != campuses {
+		t.Fatalf("round produced %d federated cells", len(res.FederatedRecall))
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, st := range stores {
+		if got := st.Stats().Packets; got != 2000 {
+			t.Fatalf("campus %d store has %d packets, want 2000", i, got)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package fleet turns campuslab into a multi-campus system: a binary
+// streaming ingest protocol that lets remote campus nodes push labeled
+// packet-record batches into a labd data store over TCP, and a federated
+// coordinator that runs the Figure-2 development loop across N campus
+// stores — per-campus forests merged into a voted ensemble, cross-campus
+// train-here/test-there evaluation, and a pooled-feature variant — the
+// paper's §5 endgame (many campuses reproducing each other's results)
+// made mechanically checkable.
+//
+// Wire format (all integers little-endian):
+//
+//	message: type u8 | payload len u32 | payload crc32 u32 | payload
+//
+//	MsgHello      payload: magic "CLFT" | version u16 |
+//	              name len u16 | campus name
+//	MsgHelloAck   payload: version u16 | last acked batch seq u64
+//	MsgBatch      payload: batch seq u64 | frame count u32, per frame:
+//	              ts i64 | link u16 | label u8 | actor u8 | dlen u32 | data
+//	MsgAck        payload: batch seq u64 | first packet id u64 |
+//	              ingested u32 | shed u32
+//	MsgOverloaded payload: batch seq u64   (backpressure: retry later)
+//	MsgError      payload: utf-8 reason    (fatal for the stream)
+//
+// Batches are CRC-framed so a cut connection or bit rot is detected
+// before any frame reaches the store: a batch is ingested entirely or not
+// at all, and an acked batch rides the store's admission + WAL path, so a
+// MsgAck is a durability acknowledgment whenever the serving store is
+// durable. Batch sequence numbers are per-campus and strictly
+// consecutive; the server remembers the last acked sequence per campus
+// and answers a re-sent batch from its ack cache without re-ingesting, so
+// client retry after a torn connection never duplicates PacketIDs.
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"campuslab/internal/traffic"
+)
+
+// MsgType tags one framed protocol message.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgBatch
+	MsgAck
+	MsgOverloaded
+	MsgError
+	msgTypeEnd
+)
+
+// String names the message type (errors, tests).
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgBatch:
+		return "batch"
+	case MsgAck:
+		return "ack"
+	case MsgOverloaded:
+		return "overloaded"
+	case MsgError:
+		return "error"
+	}
+	return fmt.Sprintf("msg-%d", uint8(t))
+}
+
+const (
+	// helloMagic opens every stream; a dialer that is not a fleet client
+	// is rejected at the first message.
+	helloMagic = "CLFT"
+	// ProtocolVersion is the handshake version both ends must speak.
+	ProtocolVersion = 1
+
+	// msgHeaderSize is type + payload len + payload crc.
+	msgHeaderSize = 1 + 4 + 4
+	// maxMsgPayload bounds one message; a flipped length byte must not
+	// drive a huge allocation (mirrors the WAL's record bound).
+	maxMsgPayload = 64 << 20
+	// maxFrameData bounds one packet record inside a batch.
+	maxFrameData = 1 << 20
+	// maxCampusName bounds the handshake's campus name.
+	maxCampusName = 255
+	// frameFixed is the per-frame fixed field size inside a batch payload.
+	frameFixed = 8 + 2 + 1 + 1 + 4
+)
+
+// ErrFrameCorrupt reports wire bytes that fail structural validation or
+// checksum — truncation, bad type, oversized lengths, CRC mismatch. The
+// decoder never panics on hostile input; it returns this.
+var ErrFrameCorrupt = errors.New("fleet: frame corrupt")
+
+// AppendMessage appends one framed message to dst and returns it.
+func AppendMessage(dst []byte, t MsgType, payload []byte) []byte {
+	dst = append(dst, byte(t))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// DecodeMessage parses one framed message from the front of b, returning
+// the type, its payload (aliasing b), and the remaining bytes.
+func DecodeMessage(b []byte) (t MsgType, payload, rest []byte, err error) {
+	if len(b) < msgHeaderSize {
+		return 0, nil, nil, fmt.Errorf("%w: short header (%d bytes)", ErrFrameCorrupt, len(b))
+	}
+	t = MsgType(b[0])
+	if t < MsgHello || t >= msgTypeEnd {
+		return 0, nil, nil, fmt.Errorf("%w: unknown message type %d", ErrFrameCorrupt, b[0])
+	}
+	plen := binary.LittleEndian.Uint32(b[1:5])
+	if plen > maxMsgPayload {
+		return 0, nil, nil, fmt.Errorf("%w: payload claims %d bytes", ErrFrameCorrupt, plen)
+	}
+	if uint32(len(b)-msgHeaderSize) < plen {
+		return 0, nil, nil, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrFrameCorrupt, len(b)-msgHeaderSize, plen)
+	}
+	payload = b[msgHeaderSize : msgHeaderSize+int(plen)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[5:9]) {
+		return 0, nil, nil, fmt.Errorf("%w: payload checksum mismatch", ErrFrameCorrupt)
+	}
+	return t, payload, b[msgHeaderSize+int(plen):], nil
+}
+
+// ReadMessage reads one framed message from r, reusing *scratch for the
+// payload. io.EOF at a message boundary is returned as io.EOF; a
+// mid-message cut is io.ErrUnexpectedEOF; corruption is ErrFrameCorrupt.
+func ReadMessage(r io.Reader, scratch *[]byte) (MsgType, []byte, error) {
+	var hdr [msgHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	t := MsgType(hdr[0])
+	if t < MsgHello || t >= msgTypeEnd {
+		return 0, nil, fmt.Errorf("%w: unknown message type %d", ErrFrameCorrupt, hdr[0])
+	}
+	plen := binary.LittleEndian.Uint32(hdr[1:5])
+	if plen > maxMsgPayload {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes", ErrFrameCorrupt, plen)
+	}
+	if cap(*scratch) < int(plen) {
+		*scratch = make([]byte, plen)
+	}
+	payload := (*scratch)[:plen]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[5:9]) {
+		return 0, nil, fmt.Errorf("%w: payload checksum mismatch", ErrFrameCorrupt)
+	}
+	return t, payload, nil
+}
+
+// EncodeHello builds the handshake payload for a campus name.
+func EncodeHello(campus string) []byte {
+	b := make([]byte, 0, 8+len(campus))
+	b = append(b, helloMagic...)
+	b = binary.LittleEndian.AppendUint16(b, ProtocolVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(campus)))
+	return append(b, campus...)
+}
+
+// DecodeHello parses a handshake payload into (campus, version).
+func DecodeHello(p []byte) (campus string, version uint16, err error) {
+	if len(p) < 8 {
+		return "", 0, fmt.Errorf("%w: short hello", ErrFrameCorrupt)
+	}
+	if string(p[:4]) != helloMagic {
+		return "", 0, fmt.Errorf("%w: hello magic %q", ErrFrameCorrupt, p[:4])
+	}
+	version = binary.LittleEndian.Uint16(p[4:6])
+	nlen := int(binary.LittleEndian.Uint16(p[6:8]))
+	if nlen > maxCampusName || len(p) != 8+nlen {
+		return "", 0, fmt.Errorf("%w: hello name length %d in %d payload bytes", ErrFrameCorrupt, nlen, len(p))
+	}
+	return string(p[8:]), version, nil
+}
+
+// EncodeHelloAck builds the server's handshake reply: its protocol
+// version and the last batch sequence it has acknowledged for this campus
+// (0 = none), so a reconnecting client knows where to resume.
+func EncodeHelloAck(lastSeq uint64) []byte {
+	b := make([]byte, 0, 10)
+	b = binary.LittleEndian.AppendUint16(b, ProtocolVersion)
+	return binary.LittleEndian.AppendUint64(b, lastSeq)
+}
+
+// DecodeHelloAck parses the handshake reply.
+func DecodeHelloAck(p []byte) (version uint16, lastSeq uint64, err error) {
+	if len(p) != 10 {
+		return 0, 0, fmt.Errorf("%w: hello-ack length %d", ErrFrameCorrupt, len(p))
+	}
+	return binary.LittleEndian.Uint16(p[0:2]), binary.LittleEndian.Uint64(p[2:10]), nil
+}
+
+// EncodeBatch serializes a batch payload: the client-assigned sequence
+// number and every frame's stored fields (timestamp, link, ground-truth
+// label, actor bit, raw bytes). links may be nil (all link 0). The
+// encoding is canonical: DecodeBatch followed by EncodeBatch reproduces
+// the input bytes exactly.
+func EncodeBatch(seq uint64, frames []traffic.Frame, links []uint16) []byte {
+	need := 12
+	for i := range frames {
+		need += frameFixed + len(frames[i].Data)
+	}
+	b := make([]byte, 0, need)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(frames)))
+	for i := range frames {
+		f := &frames[i]
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.TS))
+		var link uint16
+		if links != nil {
+			link = links[i]
+		}
+		b = binary.LittleEndian.AppendUint16(b, link)
+		actor := byte(0)
+		if f.Actor {
+			actor = 1
+		}
+		b = append(b, byte(f.Label), actor)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Data)))
+		b = append(b, f.Data...)
+	}
+	return b
+}
+
+// DecodeBatch parses a batch payload. Frame Data slices are copied out of
+// p, so the caller may reuse its read buffer. Trailing bytes are
+// corruption: the encoding is canonical.
+func DecodeBatch(p []byte) (seq uint64, frames []traffic.Frame, links []uint16, err error) {
+	if len(p) < 12 {
+		return 0, nil, nil, fmt.Errorf("%w: short batch header", ErrFrameCorrupt)
+	}
+	seq = binary.LittleEndian.Uint64(p[0:8])
+	count := binary.LittleEndian.Uint32(p[8:12])
+	if count > uint32((len(p)-12)/frameFixed) {
+		return 0, nil, nil, fmt.Errorf("%w: batch claims %d frames in %d bytes", ErrFrameCorrupt, count, len(p))
+	}
+	frames = make([]traffic.Frame, 0, count)
+	links = make([]uint16, 0, count)
+	off := 12
+	for i := uint32(0); i < count; i++ {
+		if len(p)-off < frameFixed {
+			return 0, nil, nil, fmt.Errorf("%w: truncated frame %d", ErrFrameCorrupt, i)
+		}
+		ts := time.Duration(binary.LittleEndian.Uint64(p[off : off+8]))
+		link := binary.LittleEndian.Uint16(p[off+8 : off+10])
+		label := traffic.Label(p[off+10])
+		if label >= traffic.NumLabels {
+			return 0, nil, nil, fmt.Errorf("%w: frame %d label %d", ErrFrameCorrupt, i, p[off+10])
+		}
+		actorB := p[off+11]
+		if actorB > 1 {
+			return 0, nil, nil, fmt.Errorf("%w: frame %d actor byte %d", ErrFrameCorrupt, i, actorB)
+		}
+		dlen := binary.LittleEndian.Uint32(p[off+12 : off+16])
+		off += frameFixed
+		if dlen > maxFrameData || len(p)-off < int(dlen) {
+			return 0, nil, nil, fmt.Errorf("%w: frame %d claims %d data bytes", ErrFrameCorrupt, i, dlen)
+		}
+		data := make([]byte, dlen)
+		copy(data, p[off:off+int(dlen)])
+		off += int(dlen)
+		frames = append(frames, traffic.Frame{TS: ts, Data: data, Label: label, Actor: actorB == 1})
+		links = append(links, link)
+	}
+	if off != len(p) {
+		return 0, nil, nil, fmt.Errorf("%w: %d trailing batch bytes", ErrFrameCorrupt, len(p)-off)
+	}
+	return seq, frames, links, nil
+}
+
+// Ack is the server's acknowledgment of one ingested batch.
+type Ack struct {
+	// Seq echoes the batch sequence number.
+	Seq uint64
+	// First is the PacketID of the first stored frame (meaningless when
+	// Ingested == 0); stored frames take consecutive IDs.
+	First uint64
+	// Ingested counts frames stored (durably, when the store has a WAL).
+	Ingested uint32
+	// Shed counts low-priority frames the admission gate dropped.
+	Shed uint32
+}
+
+// EncodeAck serializes an acknowledgment payload.
+func EncodeAck(a Ack) []byte {
+	b := make([]byte, 0, 24)
+	b = binary.LittleEndian.AppendUint64(b, a.Seq)
+	b = binary.LittleEndian.AppendUint64(b, a.First)
+	b = binary.LittleEndian.AppendUint32(b, a.Ingested)
+	return binary.LittleEndian.AppendUint32(b, a.Shed)
+}
+
+// DecodeAck parses an acknowledgment payload.
+func DecodeAck(p []byte) (Ack, error) {
+	if len(p) != 24 {
+		return Ack{}, fmt.Errorf("%w: ack length %d", ErrFrameCorrupt, len(p))
+	}
+	return Ack{
+		Seq:      binary.LittleEndian.Uint64(p[0:8]),
+		First:    binary.LittleEndian.Uint64(p[8:16]),
+		Ingested: binary.LittleEndian.Uint32(p[16:20]),
+		Shed:     binary.LittleEndian.Uint32(p[20:24]),
+	}, nil
+}
+
+// EncodeSeq serializes a bare sequence payload (MsgOverloaded).
+func EncodeSeq(seq uint64) []byte {
+	return binary.LittleEndian.AppendUint64(make([]byte, 0, 8), seq)
+}
+
+// DecodeSeq parses a bare sequence payload.
+func DecodeSeq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: seq length %d", ErrFrameCorrupt, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}

@@ -1,0 +1,32 @@
+package ml
+
+import "fmt"
+
+// MergeForests builds a voted federated ensemble: the member trees of
+// every input forest concatenated, in argument order, into one Forest
+// whose Proba is the mean over all members. Each campus trains a forest
+// on its own traffic; merging the forests pools their votes without ever
+// pooling the raw features — the federated variant of the Figure-2 loop.
+// All inputs must agree on class count. The result shares the input
+// trees (no copy); inputs must not be mutated afterwards.
+func MergeForests(forests ...*Forest) (*Forest, error) {
+	if len(forests) == 0 {
+		return nil, fmt.Errorf("ml: merge needs at least one forest")
+	}
+	total := 0
+	for i, f := range forests {
+		if f == nil || len(f.trees) == 0 {
+			return nil, fmt.Errorf("ml: merge input %d is empty", i)
+		}
+		if f.classes != forests[0].classes {
+			return nil, fmt.Errorf("ml: merge input %d has %d classes, input 0 has %d",
+				i, f.classes, forests[0].classes)
+		}
+		total += len(f.trees)
+	}
+	merged := &Forest{trees: make([]*Tree, 0, total), classes: forests[0].classes}
+	for _, f := range forests {
+		merged.trees = append(merged.trees, f.trees...)
+	}
+	return merged, nil
+}

@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMergeForests(t *testing.T) {
+	d1 := blobs(200, 0.5, 1)
+	d2 := blobs(200, 0.5, 2)
+	f1, err := FitForest(d1, 2, ForestConfig{Trees: 3, MaxDepth: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FitForest(d2, 2, ForestConfig{Trees: 5, MaxDepth: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := MergeForests(f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 8 || m.NumClasses() != 2 {
+		t.Fatalf("merged: %d trees, %d classes", m.NumTrees(), m.NumClasses())
+	}
+	if m.TotalNodes() != f1.TotalNodes()+f2.TotalNodes() {
+		t.Fatalf("merged nodes %d != %d + %d", m.TotalNodes(), f1.TotalNodes(), f2.TotalNodes())
+	}
+
+	// The merged vote is exactly the tree-count-weighted average of the
+	// inputs' votes — merging is pooling, not retraining.
+	for _, x := range d1.X[:50] {
+		p1, p2, pm := f1.Proba(x), f2.Proba(x), m.Proba(x)
+		for c := range pm {
+			want := (3*p1[c] + 5*p2[c]) / 8
+			if math.Abs(pm[c]-want) > 1e-12 {
+				t.Fatalf("merged proba[%d] = %v, want pooled %v", c, pm[c], want)
+			}
+		}
+	}
+
+	// Inputs are untouched (trees shared, not consumed).
+	if f1.NumTrees() != 3 || f2.NumTrees() != 5 {
+		t.Fatal("merge mutated its inputs")
+	}
+}
+
+func TestMergeForestsSingleIsIdentityVote(t *testing.T) {
+	f, err := FitForest(blobs(120, 0.4, 3), 2, ForestConfig{Trees: 4, MaxDepth: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeForests(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := blobs(40, 0.4, 4)
+	for _, x := range d.X {
+		if m.Predict(x) != f.Predict(x) {
+			t.Fatal("single-input merge changed predictions")
+		}
+	}
+}
+
+func TestMergeForestsErrors(t *testing.T) {
+	if _, err := MergeForests(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := MergeForests(nil); err == nil {
+		t.Fatal("nil forest accepted")
+	}
+	f2, _ := FitForest(blobs(100, 0.4, 5), 2, ForestConfig{Trees: 2, MaxDepth: 3, Seed: 5})
+	d3 := blobs(100, 0.4, 6)
+	for i := range d3.Y {
+		d3.Y[i] = i % 3
+	}
+	f3, err := FitForest(d3, 3, ForestConfig{Trees: 2, MaxDepth: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeForests(f2, f3); err == nil {
+		t.Fatal("class-count mismatch accepted")
+	}
+	if _, err := MergeForests(f2, &Forest{classes: 2}); err == nil {
+		t.Fatal("treeless forest accepted")
+	}
+}

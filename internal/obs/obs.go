@@ -495,6 +495,12 @@ const (
 	// acquisitions; defined here so the telemetry compatibility view and
 	// the datastore write the same series.
 	ShardContentionName = "campuslab_store_shard_contention_total"
+
+	// Fleet ingest counter names (registered by internal/fleet); defined
+	// here so determinism tests can whitelist the scenario-determined
+	// fleet series without importing the fleet package.
+	FleetBatchesName = "campuslab_fleet_server_batches_total"
+	FleetFramesName  = "campuslab_fleet_server_frames_total"
 )
 
 // RecordStage adds one invocation of stage taking d of wall time, and

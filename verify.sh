@@ -18,9 +18,10 @@ go build ./...
 echo "==> go test ./... (with coverage gate)"
 go test -coverprofile=coverage.out ./...
 COVER=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
-# Ratchet floor: measured 83.5% total when the gate was introduced.
-# Raise the floor when coverage rises; never lower it to merge.
-COVER_FLOOR=82.0
+# Ratchet floor: measured 83.8% total when the fleet subsystem landed
+# (was 82.0). Raise the floor when coverage rises; never lower it to
+# merge.
+COVER_FLOOR=83.0
 echo "    total coverage: ${COVER}% (floor ${COVER_FLOOR}%)"
 awk -v c="$COVER" -v f="$COVER_FLOOR" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || {
     echo "verify: FAIL — coverage ${COVER}% below floor ${COVER_FLOOR}%" >&2
@@ -29,6 +30,18 @@ awk -v c="$COVER" -v f="$COVER_FLOOR" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || {
 
 echo "==> go test -race (control, datastore, faults)"
 go test -race ./internal/control ./internal/datastore ./internal/faults
+
+echo "==> fleet race gate (concurrent campus streams, coordinator during live ingest)"
+go test -race -run 'TestRaceConcurrentCampusStreams|TestRaceCoordinatorDuringStreaming|TestStreamMatchesLocalIngest' ./internal/fleet
+
+echo "==> fleet coverage gate (package floor 85%)"
+go test -coverprofile=fleet_coverage.out ./internal/fleet
+FLEET_COVER=$(go tool cover -func=fleet_coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "    fleet coverage: ${FLEET_COVER}% (floor 85.0%)"
+awk -v c="$FLEET_COVER" 'BEGIN { exit (c+0 >= 85.0) ? 0 : 1 }' || {
+    echo "verify: FAIL — fleet coverage ${FLEET_COVER}% below floor 85.0%" >&2
+    exit 1
+}
 
 echo "==> go test -race (dataplane fast path: concurrent install vs batch)"
 go test -race -run 'TestConcurrentInstallDuringBatch|TestConcurrentEnsembleInstallDuringBatch|TestSwitchPipelineEquivalence|TestProcessBatch|TestClassifyBatch' ./internal/dataplane
@@ -56,6 +69,10 @@ go test -run=FuzzParseFilter -fuzz=FuzzParseFilter -fuzztime=5s ./internal/datas
 go test -run=FuzzEnsembleCompile -fuzz=FuzzEnsembleCompile -fuzztime=5s ./internal/dataplane
 go test -run=FuzzWALReplay -fuzz=FuzzWALReplay -fuzztime=5s ./internal/datastore
 go test -run=FuzzSegmentDecode -fuzz=FuzzSegmentDecode -fuzztime=5s ./internal/datastore
+go test -run=FuzzFleetFrame -fuzz=FuzzFleetFrame -fuzztime=5s ./internal/fleet
+
+echo "==> fleet crash gate (torn mid-batch cut: all-or-nothing, retry never duplicates, acked == durable)"
+go test -run 'TestCrashMidBatchDurability|TestServerDedupesRetriedBatch|TestServerRejectsProtocolViolations' ./internal/fleet
 
 echo "==> crash-recovery gate (kill -9 mid-ingest must lose nothing acked)"
 go test -run 'TestWALCrashKill9|TestRecoverTornThenCrashAgain|TestConcurrentIngestCheckpointQuery' ./internal/datastore
@@ -68,5 +85,8 @@ go test -run 'TestAllExperimentsRun/E16' ./internal/experiments
 
 echo "==> bench smoke (crash-to-ready recovery time)"
 go test -run=NONE -bench=BenchmarkWALRecovery -benchtime=5x ./internal/datastore
+
+echo "==> bench smoke (fleet ingest: loopback TCP vs in-process)"
+go test -run=NONE -bench=BenchmarkFleetIngest -benchtime=5x ./internal/fleet
 
 echo "verify: OK"
