@@ -48,12 +48,16 @@ type healthz struct {
 		Error    string `json:"error,omitempty"`
 	} `json:"wal"`
 	Tier struct {
-		Enabled     bool   `json:"enabled"`
-		Segments    int    `json:"segments"`
-		ColdPackets uint64 `json:"cold_packets"`
-		ColdBytes   uint64 `json:"cold_bytes"`
-		Corrupt     uint64 `json:"corrupt_segments,omitempty"`
-		Error       string `json:"error,omitempty"`
+		Enabled      bool   `json:"enabled"`
+		Segments     int    `json:"segments"`
+		ColdPackets  uint64 `json:"cold_packets"`
+		ColdBytes    uint64 `json:"cold_bytes"`
+		Corrupt      uint64 `json:"corrupt_segments,omitempty"`
+		CacheHits    uint64 `json:"cache_hits,omitempty"`
+		CacheMisses  uint64 `json:"cache_misses,omitempty"`
+		CacheBytes   int64  `json:"cache_bytes,omitempty"`
+		CacheEntries int    `json:"cache_entries,omitempty"`
+		Error        string `json:"error,omitempty"`
 	} `json:"tier"`
 	StorePackets uint64 `json:"store_packets"`
 }
@@ -84,6 +88,10 @@ func (s *server) health() healthz {
 	h.Tier.ColdPackets = ts.ColdPackets
 	h.Tier.ColdBytes = ts.ColdBytes
 	h.Tier.Corrupt = ts.CorruptSegments
+	h.Tier.CacheHits = ts.CacheHits
+	h.Tier.CacheMisses = ts.CacheMisses
+	h.Tier.CacheBytes = ts.CacheBytes
+	h.Tier.CacheEntries = ts.CacheEntries
 	if ts.Err != nil {
 		h.Tier.Error = ts.Err.Error()
 		if h.Status == "ok" {

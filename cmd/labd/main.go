@@ -68,17 +68,18 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("labd: ")
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
-		seed     = flag.Int64("seed", 3, "scenario seed")
-		maxConns = flag.Int("max-conns", 64, "max concurrent client connections (0 = unlimited)")
-		drain    = flag.Duration("drain", 10*time.Second, "grace period for in-flight connections on shutdown")
-		httpAddr = flag.String("http", "", "HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof, /debug/trace); empty = disabled")
-		dataDir  = flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = in-memory only")
-		fsyncStr = flag.String("fsync", "interval", "WAL durability policy: always | interval | none (with -data)")
-		tierDir  = flag.String("tier-dir", "", "cold-tier segment directory; empty = hot tier only")
-		tierHot  = flag.Uint64("tier-hot", 500_000, "hot-tier packet cap before history seals to cold segments (with -tier-dir)")
-		tierComp = flag.Duration("tier-compact", time.Minute, "cold-tier compaction sweep interval, 0 = disabled (with -tier-dir)")
-		ingestLn = flag.String("ingest-listen", "", "binary fleet-ingest listen address (remote campuses stream batches here); empty = disabled")
+		listen    = flag.String("listen", "127.0.0.1:7077", "TCP listen address")
+		seed      = flag.Int64("seed", 3, "scenario seed")
+		maxConns  = flag.Int("max-conns", 64, "max concurrent client connections (0 = unlimited)")
+		drain     = flag.Duration("drain", 10*time.Second, "grace period for in-flight connections on shutdown")
+		httpAddr  = flag.String("http", "", "HTTP diagnostics listen address (/metrics, /healthz, /debug/pprof, /debug/trace); empty = disabled")
+		dataDir   = flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = in-memory only")
+		fsyncStr  = flag.String("fsync", "interval", "WAL durability policy: always | interval | none (with -data)")
+		tierDir   = flag.String("tier-dir", "", "cold-tier segment directory; empty = hot tier only")
+		tierHot   = flag.Uint64("tier-hot", 500_000, "hot-tier packet cap before history seals to cold segments (with -tier-dir)")
+		tierComp  = flag.Duration("tier-compact", time.Minute, "cold-tier compaction sweep interval, 0 = disabled (with -tier-dir)")
+		tierCache = flag.Int64("tier-cache", 0, "decoded-block cache budget in bytes for cold-tier queries, 0 = disabled (with -tier-dir)")
+		ingestLn  = flag.String("ingest-listen", "", "binary fleet-ingest listen address (remote campuses stream batches here); empty = disabled")
 	)
 	flag.Parse()
 
@@ -88,7 +89,7 @@ func main() {
 	}
 	srv, err := newServer(daemonConfig{
 		Seed: *seed, DataDir: *dataDir, Fsync: fsync,
-		Tier: datastore.TierPolicy{Dir: *tierDir, HotPackets: *tierHot},
+		Tier: datastore.TierPolicy{Dir: *tierDir, HotPackets: *tierHot, CacheBytes: *tierCache},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -474,6 +475,10 @@ func (s *server) cmdStats(w *bufio.Writer, _ string) {
 	if st.Segments > 0 || st.ColdPackets > 0 {
 		fmt.Fprintf(w, " cold_packets=%d cold_bytes=%d segments=%d",
 			st.ColdPackets, st.ColdBytes, st.Segments)
+	}
+	if ts := s.lab.Store().TierStats(); ts.CacheHits > 0 || ts.CacheMisses > 0 || ts.CacheEntries > 0 {
+		fmt.Fprintf(w, " cache_hits=%d cache_misses=%d cache_bytes=%d cache_entries=%d",
+			ts.CacheHits, ts.CacheMisses, ts.CacheBytes, ts.CacheEntries)
 	}
 	fmt.Fprintln(w)
 }

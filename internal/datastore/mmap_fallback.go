@@ -1,0 +1,10 @@
+//go:build !linux
+
+package datastore
+
+// mmapSupported: non-Linux builds always take the os.ReadFile path.
+const mmapSupported = false
+
+func mmapFile(path string) ([]byte, func(), error) {
+	return nil, nil, errMmapUnavailable
+}

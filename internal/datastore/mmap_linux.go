@@ -1,0 +1,39 @@
+//go:build linux
+
+package datastore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy segment read path. On Linux, segment
+// files are mapped read-only instead of copied through the page cache
+// twice; unlinking a mapped file (compaction, retention) is safe — the
+// mapping stays valid until unmapped.
+const mmapSupported = true
+
+// mmapFile maps path read-only. The returned release func must be called
+// once every decode touching the bytes has finished; decoded rows never
+// alias the mapping (rowsAt copies via inflate and re-parse), so callers
+// release as soon as their segment decode returns.
+func mmapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, errMmapUnavailable
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() { _ = syscall.Munmap(b) }, nil
+}

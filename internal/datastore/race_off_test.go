@@ -1,0 +1,5 @@
+//go:build !race
+
+package datastore
+
+const raceEnabled = false

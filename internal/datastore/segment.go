@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"sort"
+	"sync"
 	"time"
 
 	"campuslab/internal/packet"
@@ -30,36 +32,57 @@ import (
 //	  2 ts     first TS zigzag varint, then uvarint deltas (TS is
 //	           non-decreasing within a sorted run)
 //	  3 actor  bit-packed, one bit per row, trailing bits zero
-//	  4 data   uvarint total raw bytes, per-row uvarint lengths, then one
-//	           DEFLATE stream of the concatenated packet bytes
+//	  4 data   v1: uvarint total raw bytes, per-row uvarint lengths, then
+//	           one DEFLATE stream of the concatenated packet bytes.
+//	           v2: uvarint block rows | uvarint block count | uvarint total
+//	           raw bytes | per-row uvarint lengths | per-block uvarint
+//	           compressed lengths | the blocks' DEFLATE streams,
+//	           concatenated. Block b covers rows [b*blockRows,
+//	           (b+1)*blockRows) and inflates independently, so a selective
+//	           query decompresses only the blocks its candidate rows land
+//	           in instead of the whole column.
 //	  5 index  the shard posting-list families, re-based to row positions:
 //	           for proto/src.port/dst.port/link/label, ascending values
 //	           each with an ascending delta-coded row list; then the six
 //	           boolean-flag lists. The value families partition the rows,
-//	           so this section doubles as the dictionary encoding of the
-//	           link and label columns (and the zone map's value sets).
+//	           so this section doubles as the zone map's value sets.
+//	  6 dict   (v2 only) dictionary encoding of the link and label
+//	           columns: per family, uvarint distinct-value count, the
+//	           ascending values, then ceil(log2 n)-bit codes bit-packed
+//	           LSB-first, one per row, trailing bits zero. Gives O(1)
+//	           per-row access for selective decode — the v1 reader instead
+//	           inverts the index column into O(count) scatter arrays.
 //
 // Per-packet Summary metadata is NOT stored: decode re-parses the raw
 // bytes with the same allocation-free parser ingest used, which is
 // deterministic, so decoded rows are byte-identical to what was sealed.
 //
+// Column CRCs verify lazily, memoized per column on first access, so a
+// query that never touches a column never pays its checksum; the
+// attach-time path (openSegMeta) still verifies every column eagerly.
 // Every decode validates structure strictly (sorted runs, total
 // partitions, exact column lengths, no trailing bytes) and every
 // corruption — CRC mismatch, truncation, bit flips — surfaces as an error
 // wrapping ErrSegmentCorrupt, never a panic or a silently wrong row.
 
 const (
-	segMagic   = "CLSG"
-	segVersion = 1
+	segMagic    = "CLSG"
+	segVersion1 = 1
+	segVersion2 = 2
 
 	segColIDs   = 1
 	segColTS    = 2
 	segColActor = 3
 	segColData  = 4
 	segColIndex = 5
-	segNumCols  = 5
+	segColDict  = 6
+	segNumCols  = 6 // v2; v1 blobs carry columns 1..5
 
 	segHeaderSize = 48
+	// segBlockRows is the v2 writer's rows per independently-compressed
+	// data block: small enough that a needle query inflates a sliver,
+	// large enough that DEFLATE still sees real context.
+	segBlockRows = 32
 	// segMaxCount bounds rows per segment (sanity cap well above any
 	// policy's SegmentPackets); segMaxData bounds the decompressed data
 	// column; segMaxPacket matches the snapshot/WAL per-packet cap.
@@ -287,6 +310,154 @@ func (ix *segIndex) encode() []byte {
 	return b
 }
 
+// putBits / getBits pack fixed-width codes LSB-first, matching the actor
+// column's bit order.
+func putBits(dst []byte, bitOff, width int, v uint64) {
+	for w := 0; w < width; w++ {
+		if v&(1<<w) != 0 {
+			dst[(bitOff+w)/8] |= 1 << ((bitOff + w) % 8)
+		}
+	}
+}
+
+func getBits(src []byte, bitOff, width int) uint64 {
+	var v uint64
+	for w := 0; w < width; w++ {
+		if src[(bitOff+w)/8]&(1<<((bitOff+w)%8)) != 0 {
+			v |= 1 << w
+		}
+	}
+	return v
+}
+
+// segDictFams are the two dictionary-encoded families (their segFamily
+// indices): links and labels, the columns rowsAt needs per-row.
+var segDictFams = [2]int{3, 4}
+
+func segDictValue(sp *StoredPacket, fam int) uint64 {
+	if fam == 0 {
+		return uint64(sp.Link)
+	}
+	return uint64(sp.Label)
+}
+
+// encodeDict serializes the v2 dictionary column for the link and label
+// families: distinct ascending values, then bit-packed per-row codes.
+func encodeDict(rows []StoredPacket) []byte {
+	var b []byte
+	for fam := range segDictFams {
+		set := make(map[uint64]struct{})
+		for i := range rows {
+			set[segDictValue(&rows[i], fam)] = struct{}{}
+		}
+		vals := make([]uint64, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		code := make(map[uint64]uint64, len(vals))
+		for i, v := range vals {
+			code[v] = uint64(i)
+		}
+		b = binary.AppendUvarint(b, uint64(len(vals)))
+		for _, v := range vals {
+			b = binary.AppendUvarint(b, v)
+		}
+		if width := bits.Len(uint(len(vals) - 1)); width > 0 {
+			packed := make([]byte, (len(rows)*width+7)/8)
+			for i := range rows {
+				putBits(packed, i*width, width, code[segDictValue(&rows[i], fam)])
+			}
+			b = append(b, packed...)
+		}
+	}
+	return b
+}
+
+// segDict is a decoded dictionary column: per family, the value table,
+// the code width and the packed codes. at() is the O(1) per-row accessor.
+type segDict struct {
+	vals  [2][]uint64
+	width [2]int
+	codes [2][]byte
+}
+
+func (d *segDict) at(fam, row int) uint64 {
+	if d.width[fam] == 0 {
+		return d.vals[fam][0]
+	}
+	return d.vals[fam][getBits(d.codes[fam], row*d.width[fam], d.width[fam])]
+}
+
+// decodeDict decodes and validates the dictionary column: per family,
+// ascending in-domain values, every code in range, every value used, and
+// zero trailing bits — so a valid dict always re-encodes canonically.
+func (sb *segBlob) decodeDict() (*segDict, error) {
+	payload, err := sb.col(segColDict)
+	if err != nil {
+		return nil, err
+	}
+	r := &segReader{b: payload}
+	d := &segDict{}
+	for fam, fi := range segDictFams {
+		nd, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nd == 0 || nd > uint64(sb.count) {
+			return nil, segErr("dict family %d claims %d values for %d rows", fam, nd, sb.count)
+		}
+		vals := make([]uint64, nd)
+		for i := range vals {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && v <= vals[i-1] {
+				return nil, segErr("dict family %d values not ascending", fam)
+			}
+			if v > segFamilyMax[fi] {
+				return nil, segErr("dict family %d value %d out of domain", fam, v)
+			}
+			vals[i] = v
+		}
+		width := bits.Len(uint(nd - 1))
+		if width > 0 {
+			nbytes := (sb.count*width + 7) / 8
+			if len(payload)-r.off < nbytes {
+				return nil, segErr("dict family %d codes truncated", fam)
+			}
+			codes := payload[r.off : r.off+nbytes]
+			r.off += nbytes
+			used := make([]bool, nd)
+			for i := 0; i < sb.count; i++ {
+				c := getBits(codes, i*width, width)
+				if c >= nd {
+					return nil, segErr("dict family %d row %d code %d out of range", fam, i, c)
+				}
+				used[c] = true
+			}
+			for c, u := range used {
+				if !u {
+					return nil, segErr("dict family %d value %d unused", fam, vals[c])
+				}
+			}
+			for bit := sb.count * width; bit < nbytes*8; bit++ {
+				if codes[bit/8]&(1<<(bit%8)) != 0 {
+					return nil, segErr("nonzero trailing dict bits in family %d", fam)
+				}
+			}
+			d.codes[fam] = codes
+		}
+		d.vals[fam] = vals
+		d.width[fam] = width
+	}
+	if !r.done() {
+		return nil, segErr("trailing bytes in dict column")
+	}
+	return d, nil
+}
+
 // appendColumn frames one column: id, length, payload CRC, payload.
 func appendColumn(dst []byte, colID byte, payload []byte) []byte {
 	var hdr [9]byte
@@ -298,9 +469,21 @@ func appendColumn(dst []byte, colID byte, payload []byte) []byte {
 }
 
 // encodeSegment serializes one (TS, ID)-sorted, strictly increasing row
-// run into a CLSG blob, returning the blob and the resident metadata. The
-// encoding is canonical: the same rows always produce the same bytes.
+// run into a CLSG v2 blob (blocked data column + dictionary column),
+// returning the blob and the resident metadata. The encoding is
+// canonical: the same rows always produce the same bytes.
 func encodeSegment(rows []StoredPacket) ([]byte, segMeta, error) {
+	return encodeSegmentVer(rows, segVersion2)
+}
+
+// encodeSegmentV1 writes the legacy single-stream format, byte-identical
+// to what pre-v2 builds produced — kept so mixed-version tiers stay
+// writable for tests, benchmarks and downgrades.
+func encodeSegmentV1(rows []StoredPacket) ([]byte, segMeta, error) {
+	return encodeSegmentVer(rows, segVersion1)
+}
+
+func encodeSegmentVer(rows []StoredPacket, version uint16) ([]byte, segMeta, error) {
 	var meta segMeta
 	n := len(rows)
 	if n == 0 {
@@ -350,32 +533,74 @@ func encodeSegment(rows []StoredPacket) ([]byte, segMeta, error) {
 			act[i/8] |= 1 << (i % 8)
 		}
 	}
-	data := binary.AppendUvarint(nil, totalRaw)
-	for i := range rows {
-		data = binary.AppendUvarint(data, uint64(len(rows[i].Data)))
-	}
-	var blob bytes.Buffer
-	fw, err := flate.NewWriter(&blob, flate.DefaultCompression)
-	if err != nil {
-		return nil, meta, err
-	}
-	for i := range rows {
-		if _, err := fw.Write(rows[i].Data); err != nil {
+	var data []byte
+	if version >= segVersion2 {
+		nblocks := (n + segBlockRows - 1) / segBlockRows
+		data = binary.AppendUvarint(nil, segBlockRows)
+		data = binary.AppendUvarint(data, uint64(nblocks))
+		data = binary.AppendUvarint(data, totalRaw)
+		for i := range rows {
+			data = binary.AppendUvarint(data, uint64(len(rows[i].Data)))
+		}
+		var streams bytes.Buffer
+		compLens := make([]int, nblocks)
+		fw, err := flate.NewWriter(&streams, flate.DefaultCompression)
+		if err != nil {
 			return nil, meta, err
 		}
+		for b := 0; b < nblocks; b++ {
+			start := streams.Len()
+			fw.Reset(&streams)
+			hi := (b + 1) * segBlockRows
+			if hi > n {
+				hi = n
+			}
+			for i := b * segBlockRows; i < hi; i++ {
+				if _, err := fw.Write(rows[i].Data); err != nil {
+					return nil, meta, err
+				}
+			}
+			if err := fw.Close(); err != nil {
+				return nil, meta, err
+			}
+			compLens[b] = streams.Len() - start
+		}
+		for _, cl := range compLens {
+			data = binary.AppendUvarint(data, uint64(cl))
+		}
+		data = append(data, streams.Bytes()...)
+	} else {
+		data = binary.AppendUvarint(nil, totalRaw)
+		for i := range rows {
+			data = binary.AppendUvarint(data, uint64(len(rows[i].Data)))
+		}
+		var blob bytes.Buffer
+		fw, err := flate.NewWriter(&blob, flate.DefaultCompression)
+		if err != nil {
+			return nil, meta, err
+		}
+		for i := range rows {
+			if _, err := fw.Write(rows[i].Data); err != nil {
+				return nil, meta, err
+			}
+		}
+		if err := fw.Close(); err != nil {
+			return nil, meta, err
+		}
+		data = append(data, blob.Bytes()...)
 	}
-	if err := fw.Close(); err != nil {
-		return nil, meta, err
-	}
-	data = append(data, blob.Bytes()...)
 
 	ix := buildSegIndex(rows)
 	meta.zone = ix.zone()
 	ixb := ix.encode()
+	var dict []byte
+	if version >= segVersion2 {
+		dict = encodeDict(rows)
+	}
 
-	out := make([]byte, 0, segHeaderSize+len(ids)+len(tsc)+len(act)+len(data)+len(ixb)+5*9)
+	out := make([]byte, 0, segHeaderSize+len(ids)+len(tsc)+len(act)+len(data)+len(ixb)+len(dict)+6*9)
 	out = append(out, segMagic...)
-	out = binary.LittleEndian.AppendUint16(out, segVersion)
+	out = binary.LittleEndian.AppendUint16(out, version)
 	out = binary.LittleEndian.AppendUint16(out, 0)
 	out = binary.LittleEndian.AppendUint32(out, uint32(n))
 	out = binary.LittleEndian.AppendUint64(out, uint64(minID))
@@ -388,22 +613,60 @@ func encodeSegment(rows []StoredPacket) ([]byte, segMeta, error) {
 	out = appendColumn(out, segColActor, act)
 	out = appendColumn(out, segColData, data)
 	out = appendColumn(out, segColIndex, ixb)
+	if version >= segVersion2 {
+		out = appendColumn(out, segColDict, dict)
+	}
 	return out, meta, nil
 }
 
-// segBlob is a parsed segment: header fields plus the framed, CRC-verified
-// column payloads, decoded lazily so pruned queries touch as little as
-// possible.
+// segBlob is a parsed segment: header fields plus the framed column
+// payloads. Framing (magic, version, column order, lengths, no trailing
+// bytes) is validated eagerly; per-column CRCs verify lazily on first
+// access and are memoized, so pruned queries touch as little as possible.
+// A segBlob is not safe for concurrent use — each query call parses its
+// own.
 type segBlob struct {
+	version      int
 	count        int
 	minID, maxID PacketID
 	minTS, maxTS time.Duration
 	cols         [segNumCols + 1][]byte
+	colSums      [segNumCols + 1]uint32
+	colOK        [segNumCols + 1]bool
+}
+
+func (sb *segBlob) numCols() int {
+	if sb.version == segVersion1 {
+		return 5
+	}
+	return segNumCols
+}
+
+// col returns one column payload, verifying its CRC on first access.
+func (sb *segBlob) col(id int) ([]byte, error) {
+	if !sb.colOK[id] {
+		if got := crc32.ChecksumIEEE(sb.cols[id]); got != sb.colSums[id] {
+			return nil, segErr("column %d checksum %08x != %08x", id, got, sb.colSums[id])
+		}
+		sb.colOK[id] = true
+	}
+	return sb.cols[id], nil
+}
+
+// verifyAll checks every column CRC — the attach-time strictness the
+// lazy query path skips.
+func (sb *segBlob) verifyAll() error {
+	for id := segColIDs; id <= sb.numCols(); id++ {
+		if _, err := sb.col(id); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseSegment validates the header and the column framing (magic,
-// version, counts, per-column CRC, no trailing bytes) without decoding
-// any column payload.
+// version, counts, column order and lengths, no trailing bytes) without
+// decoding or checksumming any column payload.
 func parseSegment(b []byte) (*segBlob, error) {
 	if len(b) < segHeaderSize {
 		return nil, segErr("short header (%d bytes)", len(b))
@@ -411,7 +674,8 @@ func parseSegment(b []byte) (*segBlob, error) {
 	if string(b[:4]) != segMagic {
 		return nil, segErr("bad magic %q", b[:4])
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != segVersion {
+	v := binary.LittleEndian.Uint16(b[4:6])
+	if v != segVersion1 && v != segVersion2 {
 		return nil, segErr("unsupported version %d", v)
 	}
 	if binary.LittleEndian.Uint16(b[6:8]) != 0 {
@@ -421,17 +685,18 @@ func parseSegment(b []byte) (*segBlob, error) {
 		return nil, segErr("header checksum %08x != %08x", got, want)
 	}
 	sb := &segBlob{
-		count: int(binary.LittleEndian.Uint32(b[8:12])),
-		minID: PacketID(binary.LittleEndian.Uint64(b[12:20])),
-		maxID: PacketID(binary.LittleEndian.Uint64(b[20:28])),
-		minTS: time.Duration(binary.LittleEndian.Uint64(b[28:36])),
-		maxTS: time.Duration(binary.LittleEndian.Uint64(b[36:44])),
+		version: int(v),
+		count:   int(binary.LittleEndian.Uint32(b[8:12])),
+		minID:   PacketID(binary.LittleEndian.Uint64(b[12:20])),
+		maxID:   PacketID(binary.LittleEndian.Uint64(b[20:28])),
+		minTS:   time.Duration(binary.LittleEndian.Uint64(b[28:36])),
+		maxTS:   time.Duration(binary.LittleEndian.Uint64(b[36:44])),
 	}
 	if sb.count <= 0 || sb.count > segMaxCount {
 		return nil, segErr("row count %d out of range", sb.count)
 	}
 	off := segHeaderSize
-	for want := byte(1); want <= segNumCols; want++ {
+	for want := byte(1); want <= byte(sb.numCols()); want++ {
 		if len(b)-off < 9 {
 			return nil, segErr("truncated at column %d frame", want)
 		}
@@ -444,11 +709,8 @@ func parseSegment(b []byte) (*segBlob, error) {
 		if n > len(b)-off {
 			return nil, segErr("column %d claims %d bytes, %d remain", want, n, len(b)-off)
 		}
-		payload := b[off : off+n]
-		if got := crc32.ChecksumIEEE(payload); got != sum {
-			return nil, segErr("column %d checksum %08x != %08x", want, got, sum)
-		}
-		sb.cols[want] = payload
+		sb.cols[want] = b[off : off+n]
+		sb.colSums[want] = sum
 		off += n
 	}
 	if off != len(b) {
@@ -478,8 +740,16 @@ func (r *segReader) done() bool { return r.off == len(r.b) }
 // (TS, ID) sequence must be strictly increasing and the bounds must match
 // the header.
 func (sb *segBlob) decodeTimeID() ([]PacketID, []time.Duration, error) {
-	idr := &segReader{b: sb.cols[segColIDs]}
-	tsr := &segReader{b: sb.cols[segColTS]}
+	idCol, err := sb.col(segColIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tsCol, err := sb.col(segColTS)
+	if err != nil {
+		return nil, nil, err
+	}
+	idr := &segReader{b: idCol}
+	tsr := &segReader{b: tsCol}
 	ids := make([]PacketID, sb.count)
 	tss := make([]time.Duration, sb.count)
 	v, err := idr.uvarint()
@@ -525,7 +795,10 @@ func (sb *segBlob) decodeTimeID() ([]PacketID, []time.Duration, error) {
 
 // decodeActor decodes the bit-packed actor column.
 func (sb *segBlob) decodeActor() ([]byte, error) {
-	act := sb.cols[segColActor]
+	act, err := sb.col(segColActor)
+	if err != nil {
+		return nil, err
+	}
 	if len(act) != (sb.count+7)/8 {
 		return nil, segErr("actor column %d bytes, want %d", len(act), (sb.count+7)/8)
 	}
@@ -535,10 +808,50 @@ func (sb *segBlob) decodeActor() ([]byte, error) {
 	return act, nil
 }
 
-// decodeData inflates the data column into per-row byte slices (views
-// into one shared buffer).
-func (sb *segBlob) decodeData() ([][]byte, error) {
-	r := &segReader{b: sb.cols[segColData]}
+// segData is a parsed (not yet inflated) data column: the per-row raw
+// lengths, the block geometry, and the compressed streams. v1 columns
+// parse as a single block covering every row, so both formats share one
+// selective-decode and cache path.
+type segData struct {
+	count     int
+	blockRows int
+	nblocks   int
+	rowOff    []uint64 // len count+1: prefix sums of per-row raw lengths
+	compOff   []int    // per block: offset of its DEFLATE stream in streams
+	compLen   []int
+	streams   []byte
+}
+
+// parseData validates the data column's framing: row lengths vs the
+// declared total, block geometry, and per-block compressed extents that
+// exactly cover the remaining payload.
+func (sb *segBlob) parseData() (*segData, error) {
+	payload, err := sb.col(segColData)
+	if err != nil {
+		return nil, err
+	}
+	r := &segReader{b: payload}
+	d := &segData{count: sb.count}
+	if sb.version >= segVersion2 {
+		br, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if br == 0 || br > segMaxCount {
+			return nil, segErr("data block rows %d out of range", br)
+		}
+		nb, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		d.blockRows = int(br)
+		d.nblocks = int(nb)
+		if want := (sb.count + d.blockRows - 1) / d.blockRows; d.nblocks != want {
+			return nil, segErr("data column claims %d blocks, geometry needs %d", d.nblocks, want)
+		}
+	} else {
+		d.blockRows, d.nblocks = sb.count, 1
+	}
 	totalRaw, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -546,39 +859,94 @@ func (sb *segBlob) decodeData() ([][]byte, error) {
 	if totalRaw > segMaxData {
 		return nil, segErr("data column claims %d bytes", totalRaw)
 	}
-	lens := make([]uint64, sb.count)
-	var sum uint64
-	for i := range lens {
-		if lens[i], err = r.uvarint(); err != nil {
+	d.rowOff = make([]uint64, sb.count+1)
+	for i := 0; i < sb.count; i++ {
+		l, err := r.uvarint()
+		if err != nil {
 			return nil, err
 		}
-		if lens[i] > segMaxPacket {
-			return nil, segErr("row %d claims %d data bytes", i, lens[i])
+		if l > segMaxPacket {
+			return nil, segErr("row %d claims %d data bytes", i, l)
 		}
-		sum += lens[i]
+		d.rowOff[i+1] = d.rowOff[i] + l
 	}
-	if sum != totalRaw {
-		return nil, segErr("row lengths sum %d != total %d", sum, totalRaw)
+	if d.rowOff[sb.count] != totalRaw {
+		return nil, segErr("row lengths sum %d != total %d", d.rowOff[sb.count], totalRaw)
 	}
-	fr := flate.NewReader(bytes.NewReader(r.b[r.off:]))
-	buf := make([]byte, totalRaw)
+	d.compOff = make([]int, d.nblocks)
+	d.compLen = make([]int, d.nblocks)
+	if sb.version >= segVersion2 {
+		var sum uint64
+		for b := 0; b < d.nblocks; b++ {
+			cl, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			sum += cl
+			d.compLen[b] = int(cl)
+		}
+		if sum != uint64(len(payload)-r.off) {
+			return nil, segErr("block streams claim %d bytes, %d remain", sum, len(payload)-r.off)
+		}
+		off := 0
+		for b := 0; b < d.nblocks; b++ {
+			d.compOff[b] = off
+			off += d.compLen[b]
+		}
+	} else {
+		d.compLen[0] = len(payload) - r.off
+	}
+	d.streams = payload[r.off:]
+	return d, nil
+}
+
+// blockRange returns block b's row interval [lo, hi).
+func (d *segData) blockRange(b int) (int, int) {
+	lo := b * d.blockRows
+	hi := lo + d.blockRows
+	if hi > d.count {
+		hi = d.count
+	}
+	return lo, hi
+}
+
+// inflatePool recycles flate readers across block decodes: NewReader
+// allocates a fresh 32 KiB history window per call, which dominates the
+// cost of inflating small blocks. Readers are Reset before every use, so
+// pooling one that saw a corrupt stream is safe.
+var inflatePool = sync.Pool{
+	New: func() any { return flate.NewReader(nil) },
+}
+
+// inflateBlock decompresses one block, validating the exact raw size and
+// a clean end of stream.
+func (d *segData) inflateBlock(b int) ([]byte, error) {
+	lo, hi := d.blockRange(b)
+	size := d.rowOff[hi] - d.rowOff[lo]
+	fr := inflatePool.Get().(io.ReadCloser)
+	defer inflatePool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(d.streams[d.compOff[b]:d.compOff[b]+d.compLen[b]]), nil); err != nil {
+		return nil, segErr("inflate reset block %d: %v", b, err)
+	}
+	buf := make([]byte, size)
 	if _, err := io.ReadFull(fr, buf); err != nil {
-		return nil, segErr("inflate: %v", err)
+		return nil, segErr("inflate block %d: %v", b, err)
 	}
 	var one [1]byte
 	if n, err := fr.Read(one[:]); n != 0 || err != io.EOF {
-		return nil, segErr("trailing bytes in deflate stream")
+		return nil, segErr("trailing bytes in block %d deflate stream", b)
 	}
 	if err := fr.Close(); err != nil {
-		return nil, segErr("inflate close: %v", err)
+		return nil, segErr("inflate close block %d: %v", b, err)
 	}
-	out := make([][]byte, sb.count)
-	off := uint64(0)
-	for i := range out {
-		out[i] = buf[off : off+lens[i] : off+lens[i]]
-		off += lens[i]
-	}
-	return out, nil
+	return buf, nil
+}
+
+// rowBytes slices one row's raw bytes out of its inflated block.
+func (d *segData) rowBytes(blockBuf []byte, b, row int) []byte {
+	base := d.rowOff[b*d.blockRows]
+	lo, hi := d.rowOff[row]-base, d.rowOff[row+1]-base
+	return blockBuf[lo:hi:hi]
 }
 
 // readRowList decodes one delta-coded row list, validating strict ascent
@@ -625,7 +993,11 @@ func readRowList(r *segReader, count int) ([]uint32, error) {
 // — an exact partition of the rows (which is what makes the link/label
 // scatter total and the zone map's absence proofs sound).
 func (sb *segBlob) decodeIndex() (*segIndex, error) {
-	r := &segReader{b: sb.cols[segColIndex]}
+	payload, err := sb.col(segColIndex)
+	if err != nil {
+		return nil, err
+	}
+	r := &segReader{b: payload}
 	ix := newSegIndex()
 	for fi := range ix.fams {
 		nvals, err := r.uvarint()
@@ -685,49 +1057,69 @@ func (sb *segBlob) decodeIndex() (*segIndex, error) {
 
 // rowsAt materializes the selected rows (ascending row positions) into
 // StoredPackets, re-parsing summaries from the raw bytes. sel == nil
-// materializes every row.
-func (sb *segBlob) rowsAt(sel []uint32, ix *segIndex, ids []PacketID, tss []time.Duration) ([]StoredPacket, error) {
+// materializes every row. Only the data blocks the selection lands in are
+// inflated; bs (optional) serves and fills the decoded-block cache. v2
+// blobs read link/label per row from the dictionary column; v1 blobs
+// invert the index column into scatter arrays. Materialized rows never
+// alias the blob's backing bytes, so the caller may unmap them once
+// rowsAt returns.
+func (sb *segBlob) rowsAt(sel []uint32, ix *segIndex, ids []PacketID, tss []time.Duration, bs *blockSource) ([]StoredPacket, error) {
 	act, err := sb.decodeActor()
 	if err != nil {
 		return nil, err
 	}
-	data, err := sb.decodeData()
+	d, err := sb.parseData()
 	if err != nil {
 		return nil, err
 	}
-	links := ix.scatter(3, sb.count)
-	labels := ix.scatter(4, sb.count)
+	var dict *segDict
+	var links, labels []uint64
+	if sb.version >= segVersion2 {
+		if dict, err = sb.decodeDict(); err != nil {
+			return nil, err
+		}
+	} else {
+		links = ix.scatter(3, sb.count)
+		labels = ix.scatter(4, sb.count)
+	}
 	n := sb.count
 	if sel != nil {
 		n = len(sel)
 	}
 	out := make([]StoredPacket, n)
 	p := parserPool.Get().(*packet.FlowParser)
+	defer parserPool.Put(p)
+	curBlock := -1
+	var blockBuf []byte
 	for i := 0; i < n; i++ {
 		row := i
 		if sel != nil {
 			row = int(sel[i])
 		}
+		if b := row / d.blockRows; b != curBlock {
+			if blockBuf, err = bs.block(d, b); err != nil {
+				return nil, err
+			}
+			curBlock = b
+		}
 		sp := &out[i]
 		sp.ID, sp.TS = ids[row], tss[row]
-		sp.Link = uint16(links[row])
-		sp.Label = traffic.Label(labels[row])
+		if dict != nil {
+			sp.Link = uint16(dict.at(0, row))
+			sp.Label = traffic.Label(dict.at(1, row))
+		} else {
+			sp.Link = uint16(links[row])
+			sp.Label = traffic.Label(labels[row])
+		}
 		sp.Actor = act[row/8]&(1<<(row%8)) != 0
-		sp.Data = data[row]
+		sp.Data = d.rowBytes(blockBuf, curBlock, row)
 		_ = p.Parse(sp.Data, &sp.Summary)
 	}
-	parserPool.Put(p)
 	return out, nil
 }
 
-// decodeSegmentRows fully decodes a segment blob back into its row run —
-// the scan-reference and compaction path, and the fuzz target's identity
-// check: decode(encode(rows)) == rows for every valid blob.
-func decodeSegmentRows(b []byte) ([]StoredPacket, error) {
-	sb, err := parseSegment(b)
-	if err != nil {
-		return nil, err
-	}
+// decodeBlobRows fully decodes a parsed blob back into its row run.
+func (sb *segBlob) decodeBlobRows(bs *blockSource) ([]StoredPacket, error) {
 	ids, tss, err := sb.decodeTimeID()
 	if err != nil {
 		return nil, err
@@ -736,16 +1128,31 @@ func decodeSegmentRows(b []byte) ([]StoredPacket, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sb.rowsAt(nil, ix, ids, tss)
+	return sb.rowsAt(nil, ix, ids, tss, bs)
+}
+
+// decodeSegmentRows fully decodes a segment blob back into its row run —
+// the scan-reference and compaction path, and the fuzz target's identity
+// check: decode(encode(rows)) == rows for every valid blob, v1 or v2.
+func decodeSegmentRows(b []byte) ([]StoredPacket, error) {
+	sb, err := parseSegment(b)
+	if err != nil {
+		return nil, err
+	}
+	return sb.decodeBlobRows(nil)
 }
 
 // openSegMeta parses a segment blob just enough to register it: header
-// bounds plus the zone map derived from the index column. The ID/TS/data
-// columns stay untouched.
+// bounds plus the zone map derived from the index column. Every column
+// CRC is verified here — attach is the one moment strictness is cheap —
+// but the ID/TS/data columns stay undecoded.
 func openSegMeta(b []byte) (segMeta, error) {
 	var m segMeta
 	sb, err := parseSegment(b)
 	if err != nil {
+		return m, err
+	}
+	if err := sb.verifyAll(); err != nil {
 		return m, err
 	}
 	ix, err := sb.decodeIndex()

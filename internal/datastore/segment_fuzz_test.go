@@ -9,9 +9,10 @@ import (
 	"campuslab/internal/traffic"
 )
 
-// fuzzSeedSegment builds a small deterministic segment blob for the fuzz
-// seed corpus (mirrors segTestRows but without *testing.T plumbing).
-func fuzzSeedSegment(n int) []byte {
+// fuzzSeedSegment builds a small deterministic segment blob in the given
+// format version for the fuzz seed corpus (mirrors segTestRows but
+// without *testing.T plumbing).
+func fuzzSeedSegment(n int, version uint16) []byte {
 	g := traffic.NewCampus(traffic.Profile{
 		Plan: traffic.DefaultPlan(8), FlowsPerSecond: 40,
 		Duration: time.Second, Seed: 7,
@@ -26,7 +27,7 @@ func fuzzSeedSegment(n int) []byte {
 		rows = append(rows, *sp)
 		return len(rows) < n
 	})
-	blob, _, err := encodeSegment(rows)
+	blob, _, err := encodeSegmentVer(rows, version)
 	if err != nil {
 		panic(err)
 	}
@@ -40,13 +41,19 @@ func fuzzSeedSegment(n int) []byte {
 // guaranteed for encoder-canonical inputs: DEFLATE admits more than one
 // valid stream for the same payload.)
 func FuzzSegmentDecode(f *testing.F) {
-	valid := fuzzSeedSegment(300)
-	f.Add(valid)
-	f.Add(valid[:len(valid)/2])
-	f.Add(valid[:segHeaderSize])
-	mut := append([]byte(nil), valid...)
-	mut[len(mut)/3] ^= 0x80
-	f.Add(mut)
+	// Both format versions seed the corpus: v2 (block-compressed +
+	// dictionary columns) exercises the block/dict validators, v1 the
+	// legacy single-stream path. Crossing over a few hundred rows makes
+	// the v2 seed span multiple blocks.
+	for _, version := range []uint16{segVersion2, segVersion1} {
+		valid := fuzzSeedSegment(300, version)
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		f.Add(valid[:segHeaderSize])
+		mut := append([]byte(nil), valid...)
+		mut[len(mut)/3] ^= 0x80
+		f.Add(mut)
+	}
 	f.Add([]byte("CLSG"))
 	f.Add([]byte{})
 

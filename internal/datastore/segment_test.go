@@ -206,7 +206,7 @@ func TestSegmentSelectiveDecodeSkipsData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := sb.rowsAt(cand, ix, ids, tss)
+	got, err := sb.rowsAt(cand, ix, ids, tss, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,13 @@ type TierPolicy struct {
 	// Retain bounds cold history: segments whose newest packet is older
 	// than lastTS-Retain are deleted by the compactor (0 = keep forever).
 	Retain time.Duration
+	// Format selects the segment writer version: 0 (default) and 2 write
+	// the v2 block-compressed + dictionary format; 1 writes the legacy
+	// single-stream format. Readers accept both regardless.
+	Format int
+	// CacheBytes bounds the decoded-block LRU cache serving cold queries
+	// (0 = disabled: every query inflates what it needs and discards it).
+	CacheBytes int64
 }
 
 func (p *TierPolicy) applyDefaults() {
@@ -79,6 +86,9 @@ func (p *TierPolicy) applyDefaults() {
 	}
 	if p.SegmentPackets <= 0 {
 		p.SegmentPackets = 32768
+	}
+	if p.Format == 0 {
+		p.Format = segVersion2
 	}
 }
 
@@ -97,6 +107,10 @@ type TierStats struct {
 	SegmentsScanned uint64 // cold segments decoded for queries
 	SegmentsPruned  uint64 // cold segments skipped by TS bounds or zone map
 	CorruptSegments uint64
+	CacheHits       uint64 // decoded-block cache hits (0 when cache off)
+	CacheMisses     uint64
+	CacheBytes      int64 // decoded blocks resident in the cache
+	CacheEntries    int
 	Err             error // sticky: last segment decode/IO failure
 }
 
@@ -125,10 +139,15 @@ func tierHook(stage string) {
 	}
 }
 
-// tierSegment is one registered cold segment: its file name, resident
-// metadata and on-disk size.
+// segSeqInvalid marks a segment whose file name did not parse to a seq;
+// such segments are never block-cached (the seq is the cache key).
+const segSeqInvalid = ^uint64(0)
+
+// tierSegment is one registered cold segment: its file name, the seq the
+// name encodes (the cache key space), resident metadata and on-disk size.
 type tierSegment struct {
 	name      string
+	seq       uint64
 	meta      segMeta
 	fileBytes uint64
 }
@@ -137,6 +156,8 @@ type tierSegment struct {
 type tier struct {
 	dir    string
 	policy TierPolicy
+	// cache is the decoded-block LRU (nil when CacheBytes == 0).
+	cache *tierCache
 
 	// sealMu serializes every cold-tier mutation (seal/compact/retain).
 	sealMu sync.Mutex
@@ -148,6 +169,12 @@ type tier struct {
 	segs        []*tierSegment // ascending minID (seal order)
 	coldPackets uint64
 	coldBytes   uint64
+	// tsSorted records whether segs' TS bounds (minTS and maxTS both)
+	// are non-decreasing in registry order — the common case, enabling
+	// binary-searched window lookups. Recomputed on every registry swap;
+	// false falls back to the linear scan (concurrent serial ingest can
+	// interleave TS across seal generations in edge cases).
+	tsSorted bool
 
 	// sealedBelow mirrors the manifest watermark: every ID below it is
 	// cold. Atomic so the per-batch seal trigger reads it lock-free.
@@ -203,6 +230,11 @@ func (s *Store) TierStats() TierStats {
 	st.SegmentsScanned = tr.scanned.Load()
 	st.SegmentsPruned = tr.pruned.Load()
 	st.CorruptSegments = tr.corrupt.Load()
+	if tr.cache != nil {
+		st.CacheHits = tr.cache.hits.Load()
+		st.CacheMisses = tr.cache.misses.Load()
+		st.CacheBytes, st.CacheEntries = tr.cache.size()
+	}
 	tr.errMu.Lock()
 	st.Err = tr.lastErr
 	tr.errMu.Unlock()
@@ -325,6 +357,9 @@ func (s *Store) EnableTiering(pol TierPolicy) error {
 		return errors.New("datastore: tiering already enabled")
 	}
 	pol.applyDefaults()
+	if pol.Format != segVersion1 && pol.Format != segVersion2 {
+		return fmt.Errorf("datastore: unsupported tier segment format %d", pol.Format)
+	}
 	if err := os.MkdirAll(pol.Dir, 0o755); err != nil {
 		return err
 	}
@@ -335,6 +370,9 @@ func (s *Store) EnableTiering(pol TierPolicy) error {
 		return err
 	}
 	tr := &tier{dir: pol.Dir, policy: pol, nextSeq: nextSeq}
+	if pol.CacheBytes > 0 {
+		tr.cache = newTierCache(pol.CacheBytes)
+	}
 	inManifest := make(map[string]bool, len(names))
 	if ok {
 		var maxID PacketID
@@ -349,7 +387,14 @@ func (s *Store) EnableTiering(pol TierPolicy) error {
 			if err != nil {
 				return fmt.Errorf("datastore: tier segment %s: %w", name, err)
 			}
-			tr.segs = append(tr.segs, &tierSegment{name: name, meta: meta, fileBytes: uint64(len(b))})
+			sg := &tierSegment{name: name, seq: segSeqInvalid, meta: meta, fileBytes: uint64(len(b))}
+			if seq, perr := parseTierSegName(name); perr == nil {
+				sg.seq = seq
+				if seq >= tr.nextSeq {
+					tr.nextSeq = seq + 1
+				}
+			}
+			tr.segs = append(tr.segs, sg)
 			tr.coldPackets += uint64(meta.count)
 			tr.coldBytes += uint64(len(b))
 			if meta.maxID > maxID {
@@ -357,9 +402,6 @@ func (s *Store) EnableTiering(pol TierPolicy) error {
 			}
 			if meta.maxTS > maxTS {
 				maxTS = meta.maxTS
-			}
-			if seq, perr := parseTierSegName(name); perr == nil && seq >= tr.nextSeq {
-				tr.nextSeq = seq + 1
 			}
 		}
 		sort.Slice(tr.segs, func(i, j int) bool { return tr.segs[i].meta.minID < tr.segs[j].meta.minID })
@@ -401,10 +443,24 @@ func (s *Store) EnableTiering(pol TierPolicy) error {
 		}
 	}
 	tr.mu.Lock()
+	tr.recomputeTSSortedLocked()
 	tr.publishLocked()
 	tr.mu.Unlock()
 	s.tier.Store(tr)
 	return nil
+}
+
+// recomputeTSSortedLocked refreshes the binary-search eligibility flag
+// after any registry swap. Caller holds tr.mu (write).
+func (tr *tier) recomputeTSSortedLocked() {
+	tr.tsSorted = true
+	for i := 1; i < len(tr.segs); i++ {
+		prev, cur := &tr.segs[i-1].meta, &tr.segs[i].meta
+		if cur.minTS < prev.minTS || cur.maxTS < prev.maxTS {
+			tr.tsSorted = false
+			return
+		}
+	}
 }
 
 func parseTierSegName(name string) (uint64, error) {
@@ -572,6 +628,7 @@ func (s *Store) sealTo(tr *tier, limit PacketID, wait bool) (int, error) {
 	for _, sg := range newSegs {
 		tr.coldBytes += sg.fileBytes
 	}
+	tr.recomputeTSSortedLocked()
 	tr.publishLocked()
 	for _, sh := range s.shards {
 		sh.mu.Unlock()
@@ -610,22 +667,27 @@ func (tr *tier) writeSegments(rows []StoredPacket, compact bool) ([]*tierSegment
 		nchunks++
 	}
 	size := (n + nchunks - 1) / nchunks // balanced: no sliver tail
+	encode := encodeSegment
+	if tr.policy.Format == segVersion1 {
+		encode = encodeSegmentV1
+	}
 	var out []*tierSegment
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {
 			hi = n
 		}
-		blob, meta, err := encodeSegment(rows[lo:hi])
+		blob, meta, err := encode(rows[lo:hi])
 		if err != nil {
 			return nil, err
 		}
-		name := tierSegName(tr.nextSeq)
+		seq := tr.nextSeq
+		name := tierSegName(seq)
 		tr.nextSeq++
 		if err := writeFileAtomic(tr.dir, name, blob); err != nil {
 			return nil, err
 		}
-		out = append(out, &tierSegment{name: name, meta: meta, fileBytes: uint64(len(blob))})
+		out = append(out, &tierSegment{name: name, seq: seq, meta: meta, fileBytes: uint64(len(blob))})
 	}
 	return out, nil
 }
@@ -652,7 +714,10 @@ func (s *Store) CompactTier() (int, error) {
 		runs := make([][]StoredPacket, 0, hi-lo)
 		var oldBytes uint64
 		for _, sg := range tr.segs[lo:hi] {
-			rows, err := tr.readSegRows(sg)
+			// nil block source: a compaction sweep reads each input once
+			// and deletes it — caching its blocks would only evict rows
+			// queries still want.
+			rows, err := tr.readSegRows(sg, nil)
 			if err != nil {
 				tr.noteErr(err)
 				return replaced, err
@@ -690,8 +755,10 @@ func (s *Store) CompactTier() (int, error) {
 		tr.mu.Lock()
 		tr.segs = newList
 		tr.coldBytes += newBytes - oldBytes
+		tr.recomputeTSSortedLocked()
 		tr.publishLocked()
 		tr.mu.Unlock()
+		tr.dropCached(old)
 		for _, sg := range old {
 			os.Remove(filepath.Join(tr.dir, sg.name))
 		}
@@ -763,6 +830,7 @@ func (s *Store) RetainCold(before time.Duration) (int, error) {
 		sh.lock()
 	}
 	tr.segs = keep
+	tr.recomputeTSSortedLocked()
 	tr.coldPackets -= droppedPkts
 	tr.coldBytes -= droppedBytes
 	for _, sh := range s.shards {
@@ -777,6 +845,7 @@ func (s *Store) RetainCold(before time.Duration) (int, error) {
 		sh.mu.Unlock()
 	}
 	tr.mu.Unlock()
+	tr.dropCached(drop)
 	for _, sg := range drop {
 		os.Remove(filepath.Join(tr.dir, sg.name))
 	}
@@ -785,6 +854,21 @@ func (s *Store) RetainCold(before time.Duration) (int, error) {
 	tr.mu.Unlock()
 	obsTierRetained.Add(uint64(len(drop)))
 	return len(drop), nil
+}
+
+// dropCached invalidates the decoded-block cache entries of segments
+// whose files are being removed (compaction inputs, retention drops).
+func (tr *tier) dropCached(segs []*tierSegment) {
+	if tr.cache == nil {
+		return
+	}
+	seqs := make(map[uint64]bool, len(segs))
+	for _, sg := range segs {
+		if sg.seq != segSeqInvalid {
+			seqs[sg.seq] = true
+		}
+	}
+	tr.cache.dropSegs(seqs)
 }
 
 // StartTierCompactor runs CompactTier (and retention, when the policy
@@ -823,28 +907,86 @@ func (s *Store) StartTierCompactor(interval time.Duration) (stop func()) {
 	}
 }
 
-// readSeg loads and frame-validates one segment file. Caller holds
-// tr.mu.RLock (registry membership) or sealMu (mutators).
-func (tr *tier) readSeg(sg *tierSegment) (*segBlob, error) {
-	b, err := os.ReadFile(filepath.Join(tr.dir, sg.name))
-	if err != nil {
-		return nil, err
+// errMmapUnavailable makes mmapFile fall back to os.ReadFile (non-Linux
+// builds, zero-length files, size overflow). Never surfaced to callers.
+var errMmapUnavailable = errors.New("datastore: mmap unavailable")
+
+// tierNoMmapEnv disables the mmap segment read path at runtime (the
+// escape hatch for filesystems where mapping misbehaves); segments then
+// load through os.ReadFile as before.
+const tierNoMmapEnv = "CAMPUSLAB_NO_MMAP"
+
+// loadSeg is the single segment read path: it maps (or, off Linux, with
+// CAMPUSLAB_NO_MMAP=1, or on any mmap failure, reads) the file exactly
+// once and frame-validates it. Column CRCs verify lazily on access, so a
+// query pays each checksum at most once per segment read — never twice,
+// as the old split readSeg/readSegRows paths could. The release func must
+// be called once decoding is done; decoded rows never alias the mapping.
+// Caller holds tr.mu.RLock (registry membership) or sealMu (mutators).
+func (tr *tier) loadSeg(sg *tierSegment) (*segBlob, func(), error) {
+	path := filepath.Join(tr.dir, sg.name)
+	if mmapSupported && os.Getenv(tierNoMmapEnv) != "1" {
+		if b, unmap, err := mmapFile(path); err == nil {
+			sb, perr := parseSegment(b)
+			if perr != nil {
+				unmap()
+				return nil, nil, perr
+			}
+			return sb, unmap, nil
+		}
 	}
-	return parseSegment(b)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb, err := parseSegment(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sb, func() {}, nil
 }
 
-// readSegRows fully decodes one segment file.
-func (tr *tier) readSegRows(sg *tierSegment) ([]StoredPacket, error) {
-	b, err := os.ReadFile(filepath.Join(tr.dir, sg.name))
+// readSegRows fully decodes one segment file through loadSeg; bs routes
+// its data blocks through the tier cache (nil = bypass).
+func (tr *tier) readSegRows(sg *tierSegment, bs *blockSource) ([]StoredPacket, error) {
+	sb, done, err := tr.loadSeg(sg)
 	if err != nil {
 		return nil, err
 	}
-	return decodeSegmentRows(b)
+	defer done()
+	return sb.decodeBlobRows(bs)
+}
+
+// blockSourceFor returns sg's cache handle (nil when caching is off).
+func (tr *tier) blockSourceFor(sg *tierSegment) *blockSource {
+	if tr.cache == nil || sg.seq == segSeqInvalid {
+		return nil
+	}
+	return &blockSource{cache: tr.cache, seq: sg.seq}
 }
 
 // segsInWindow returns registered segments overlapping the half-open TS
-// window (to < 0 = unbounded). Caller holds tr.mu.RLock.
+// window (to < 0 = unbounded). When the registry's TS bounds are sorted
+// (tsSorted — the steady state), both window endpoints binary-search:
+// the result is the contiguous run from the first segment with
+// maxTS >= from up to the first with minTS >= to. Otherwise it falls
+// back to the linear scan. Caller holds tr.mu.RLock; the returned slice
+// aliases the registry and is only valid while the lock is held.
 func (tr *tier) segsInWindow(from, to time.Duration) []*tierSegment {
+	if tr.tsSorted {
+		lo := 0
+		if from > 0 {
+			lo = sort.Search(len(tr.segs), func(i int) bool { return tr.segs[i].meta.maxTS >= from })
+		}
+		hi := len(tr.segs)
+		if to >= 0 {
+			hi = sort.Search(len(tr.segs), func(i int) bool { return tr.segs[i].meta.minTS >= to })
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return tr.segs[lo:hi]
+	}
 	var out []*tierSegment
 	for _, sg := range tr.segs {
 		if sg.meta.maxTS < from || (to >= 0 && sg.meta.minTS >= to) {
@@ -875,23 +1017,32 @@ func tsWindow(tss []time.Duration, from, to time.Duration) (int, int) {
 // tr.mu.RLock.
 func (s *Store) coldWindowRuns(tr *tier, from, to time.Duration) [][]StoredPacket {
 	segs := tr.segsInWindow(from, to)
-	var out [][]StoredPacket
-	for _, sg := range segs {
-		rows, err := tr.readSegRows(sg)
+	runs := make([][]StoredPacket, len(segs))
+	parallel.For(len(segs), int(s.queryWorkers.Load()), func(i int) {
+		sg := segs[i]
+		rows, err := tr.readSegRows(sg, tr.blockSourceFor(sg))
 		if err != nil {
 			tr.noteErr(err)
-			continue
+			return
 		}
 		lo := 0
 		if from > 0 {
-			lo = sort.Search(len(rows), func(i int) bool { return rows[i].TS >= from })
+			lo = sort.Search(len(rows), func(j int) bool { return rows[j].TS >= from })
 		}
 		hi := len(rows)
 		if to >= 0 {
-			hi = sort.Search(len(rows), func(i int) bool { return rows[i].TS >= to })
+			hi = sort.Search(len(rows), func(j int) bool { return rows[j].TS >= to })
 		}
 		if lo < hi {
-			out = append(out, rows[lo:hi])
+			runs[i] = rows[lo:hi]
+		}
+	})
+	// Segments were visited in registry order, so compacting the non-empty
+	// runs in place preserves the (TS, ID) merge order downstream.
+	out := runs[:0]
+	for _, r := range runs {
+		if len(r) > 0 {
+			out = append(out, r)
 		}
 	}
 	tr.scanned.Add(uint64(len(segs)))
@@ -953,10 +1104,11 @@ func (tr *tier) pruneSegs(f *Filter, from, to time.Duration) []*tierSegment {
 // only the ID/TS/index columns plus the candidate rows' bytes; a plan
 // with no index keys decodes the window and runs the full predicate.
 func (s *Store) segSelect(tr *tier, sg *tierSegment, f *Filter, from, to time.Duration, limit int, qs *queryStats) ([]StoredPacket, error) {
-	sb, err := tr.readSeg(sg)
+	sb, done, err := tr.loadSeg(sg)
 	if err != nil {
 		return nil, err
 	}
+	defer done()
 	ids, tss, err := sb.decodeTimeID()
 	if err != nil {
 		return nil, err
@@ -983,7 +1135,7 @@ func (s *Store) segSelect(tr *tier, sg *tierSegment, f *Filter, from, to time.Du
 		}
 		qs.rowsScanned.Add(uint64(rhi - rlo))
 	}
-	rows, err := sb.rowsAt(sel, ix, ids, tss)
+	rows, err := sb.rowsAt(sel, ix, ids, tss, tr.blockSourceFor(sg))
 	if err != nil {
 		return nil, err
 	}
@@ -1030,10 +1182,11 @@ func (s *Store) coldCount(tr *tier, f *Filter, from, to time.Duration, qs *query
 }
 
 func (s *Store) segCount(tr *tier, sg *tierSegment, f *Filter, from, to time.Duration, qs *queryStats) (int, error) {
-	sb, err := tr.readSeg(sg)
+	sb, done, err := tr.loadSeg(sg)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	ids, tss, err := sb.decodeTimeID()
 	if err != nil {
 		return 0, err
@@ -1054,7 +1207,7 @@ func (s *Store) segCount(tr *tier, sg *tierSegment, f *Filter, from, to time.Dur
 		if len(cand) == 0 {
 			return 0, nil
 		}
-		rows, err := sb.rowsAt(cand, ix, ids, tss)
+		rows, err := sb.rowsAt(cand, ix, ids, tss, tr.blockSourceFor(sg))
 		if err != nil {
 			return 0, err
 		}
@@ -1071,7 +1224,7 @@ func (s *Store) segCount(tr *tier, sg *tierSegment, f *Filter, from, to time.Dur
 	for i := range sel {
 		sel[i] = uint32(rlo + i)
 	}
-	rows, err := sb.rowsAt(sel, ix, ids, tss)
+	rows, err := sb.rowsAt(sel, ix, ids, tss, tr.blockSourceFor(sg))
 	if err != nil {
 		return 0, err
 	}
@@ -1094,39 +1247,48 @@ func (s *Store) coldPacket(tr *tier, id PacketID) (StoredPacket, bool) {
 		if id < sg.meta.minID || id > sg.meta.maxID {
 			continue
 		}
-		sb, err := tr.readSeg(sg)
-		if err != nil {
-			tr.noteErr(err)
-			continue
+		if sp, ok := s.segPacket(tr, sg, id); ok {
+			return sp, true
 		}
-		ids, tss, err := sb.decodeTimeID()
-		if err != nil {
-			tr.noteErr(err)
-			continue
-		}
-		row := -1
-		for i, v := range ids {
-			if v == id {
-				row = i
-				break
-			}
-		}
-		if row < 0 {
-			continue
-		}
-		ix, err := sb.decodeIndex()
-		if err != nil {
-			tr.noteErr(err)
-			continue
-		}
-		rows, err := sb.rowsAt([]uint32{uint32(row)}, ix, ids, tss)
-		if err != nil {
-			tr.noteErr(err)
-			continue
-		}
-		return rows[0], true
 	}
 	return StoredPacket{}, false
+}
+
+// segPacket looks one ID up in one segment; decode errors are noted and
+// reported as a miss so the scan can try overlapping segments.
+func (s *Store) segPacket(tr *tier, sg *tierSegment, id PacketID) (StoredPacket, bool) {
+	sb, done, err := tr.loadSeg(sg)
+	if err != nil {
+		tr.noteErr(err)
+		return StoredPacket{}, false
+	}
+	defer done()
+	ids, tss, err := sb.decodeTimeID()
+	if err != nil {
+		tr.noteErr(err)
+		return StoredPacket{}, false
+	}
+	row := -1
+	for i, v := range ids {
+		if v == id {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		return StoredPacket{}, false
+	}
+	ix, err := sb.decodeIndex()
+	if err != nil {
+		tr.noteErr(err)
+		return StoredPacket{}, false
+	}
+	rows, err := sb.rowsAt([]uint32{uint32(row)}, ix, ids, tss, tr.blockSourceFor(sg))
+	if err != nil {
+		tr.noteErr(err)
+		return StoredPacket{}, false
+	}
+	return rows[0], true
 }
 
 // Little-endian append/read helpers for the manifest.

@@ -12,13 +12,16 @@ import (
 
 // Tier benchmarks (DESIGN.md §14):
 //
-//	go test -bench='BenchmarkSeal|BenchmarkSegmentQuery|BenchmarkEvictBefore' ./internal/datastore
+//	go test -bench='BenchmarkSeal|BenchmarkSegmentQuery|BenchmarkColdSelect|BenchmarkEvictBefore' ./internal/datastore
 //
 // BenchmarkSegmentQuery sweeps query shape (selective/absent/broad) ×
-// data placement (hot/cold): `absent` is the zone-map prune-hit case
+// data placement (hot/cold) × segment format (v1/v2, cold only) ×
+// operation (count/select): `absent` is the zone-map prune-hit case
 // (every segment skipped without touching a column), `selective` is the
-// prune-miss + posting-intersection case, `broad` is the worst case
-// (not indexable, full window decode).
+// prune-miss + posting-intersection case — on this fixture a needle, a
+// few dozen rows in 20k, so op=select isolates the block-skipping win —
+// and `broad` is the worst case (not indexable, full window decode).
+// BenchmarkColdSelect adds the decoded-block cache axis (cold+warm).
 
 // tierBenchFrames is a mid-sized episode: big enough to fill several
 // segments, small enough that per-iteration store rebuilds stay honest.
@@ -30,14 +33,22 @@ var tierBenchFrames = sync.OnceValue(func() []traffic.Frame {
 	return frames
 })
 
-// coldBenchStore builds one fully sealed store per segment-target size.
-// The segment directory must outlive the benchmark that happens to build
-// the store (the cache is shared), so it cannot come from b.TempDir().
+// coldBenchKey keys one fully sealed store per (segment size, format,
+// cache budget) combination.
+type coldBenchKey struct {
+	segPackets int
+	format     int
+	cacheBytes int64
+}
+
+// coldBenchStore builds (once) the fully sealed store for a key. The
+// segment directory must outlive the benchmark that happens to build the
+// store (the stores are shared), so it cannot come from b.TempDir().
 var coldBenchStores sync.Map
 
-func coldBenchStore(b *testing.B, segPackets int) *Store {
+func coldBenchStore(b *testing.B, key coldBenchKey) *Store {
 	b.Helper()
-	if st, ok := coldBenchStores.Load(segPackets); ok {
+	if st, ok := coldBenchStores.Load(key); ok {
 		return st.(*Store)
 	}
 	dir, err := os.MkdirTemp("", "campuslab-tier-bench-*")
@@ -45,7 +56,10 @@ func coldBenchStore(b *testing.B, segPackets int) *Store {
 		b.Fatal(err)
 	}
 	st := NewSharded(4)
-	if err := st.EnableTiering(TierPolicy{Dir: dir, SegmentPackets: segPackets, MinSealPackets: 1}); err != nil {
+	if err := st.EnableTiering(TierPolicy{
+		Dir: dir, SegmentPackets: key.segPackets, MinSealPackets: 1,
+		Format: key.format, CacheBytes: key.cacheBytes,
+	}); err != nil {
 		b.Fatal(err)
 	}
 	if _, err := st.AddBatch(tierBenchFrames(), 0); err != nil {
@@ -54,7 +68,7 @@ func coldBenchStore(b *testing.B, segPackets int) *Store {
 	if _, err := st.SealHot(0); err != nil {
 		b.Fatal(err)
 	}
-	coldBenchStores.Store(segPackets, st)
+	coldBenchStores.Store(key, st)
 	return st
 }
 
@@ -84,44 +98,56 @@ func BenchmarkSeal(b *testing.B) {
 	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 }
 
+// benchStoreOp runs one (store, filter, op) cell.
+func benchStoreOp(b *testing.B, st *Store, f *Filter, op string, cold bool) {
+	st.SetQueryWorkers(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if op == "select" {
+			n = len(st.Select(f, 0))
+		} else {
+			n = st.Count(f)
+		}
+	}
+	b.ReportMetric(float64(n), "hits")
+	if cold {
+		if ts := st.TierStats(); ts.Err != nil {
+			b.Fatal(ts.Err)
+		}
+	}
+}
+
 // BenchmarkSegmentQuery: the cold rows live in compressed columns; the
-// sweep shows what each query shape pays for them relative to hot RAM.
+// sweep shows what each query shape pays for them relative to hot RAM,
+// and — per format — what block-compressed v2 saves over single-stream
+// v1. The ISSUE-10 acceptance ratio is cold selective op=select, fmt=v2
+// versus fmt=v1.
 func BenchmarkSegmentQuery(b *testing.B) {
 	cases := []struct{ name, expr string }{
-		{"selective", "proto == udp && dst.port == 53"}, // prune-miss: zones admit, index narrows
+		{"selective", "proto == udp && dst.port == 53"}, // prune-miss needle: zones admit, index narrows to ~40 rows
 		{"absent", "dst.port == 59999"},                 // prune-hit: zones refute every segment
 		{"broad", "len > 100"},                          // not indexable: full window decode
 	}
 	for _, c := range cases {
 		f := MustFilter(c.expr)
-		for _, tier := range []string{"hot", "cold"} {
-			var st *Store
-			if tier == "hot" {
-				st = queryBenchStore(b, 4)
-			} else {
-				st = coldBenchStore(b, 4096)
-			}
-			b.Run(fmt.Sprintf("expr=%s/tier=%s", c.name, tier), func(b *testing.B) {
-				st.SetQueryWorkers(1)
-				b.ReportAllocs()
-				b.ResetTimer()
-				n := 0
-				for i := 0; i < b.N; i++ {
-					n = st.Count(f)
-				}
-				b.ReportMetric(float64(n), "hits")
-				if tier == "cold" {
-					ts := st.TierStats()
-					if ts.Err != nil {
-						b.Fatal(ts.Err)
-					}
-				}
+		for _, op := range []string{"count", "select"} {
+			op := op
+			b.Run(fmt.Sprintf("expr=%s/tier=hot/op=%s", c.name, op), func(b *testing.B) {
+				benchStoreOp(b, queryBenchStore(b, 4), f, op, false)
 			})
+			for _, format := range []int{segVersion1, segVersion2} {
+				st := coldBenchStore(b, coldBenchKey{segPackets: 4096, format: format})
+				b.Run(fmt.Sprintf("expr=%s/tier=cold/fmt=v%d/op=%s", c.name, format, op), func(b *testing.B) {
+					benchStoreOp(b, st, f, op, true)
+				})
+			}
 		}
 	}
 	// Prune accounting sanity: the absent query must have skipped every
 	// segment via zone maps.
-	st := coldBenchStore(b, 4096)
+	st := coldBenchStore(b, coldBenchKey{segPackets: 4096, format: segVersion2})
 	pre := st.TierStats()
 	st.Count(MustFilter("dst.port == 59999"))
 	post := st.TierStats()
@@ -130,25 +156,54 @@ func BenchmarkSegmentQuery(b *testing.B) {
 	}
 }
 
-// BenchmarkSegmentSelect is BenchmarkSegmentQuery's materializing variant:
-// candidates are decoded and returned, not just counted.
-func BenchmarkSegmentSelect(b *testing.B) {
+// BenchmarkColdSelect is the cache axis: the selective materializing
+// query against hot RAM, the cold tier decoding every time, and the cold
+// tier with a warm decoded-block cache.
+func BenchmarkColdSelect(b *testing.B) {
 	f := MustFilter("proto == udp && dst.port == 53")
-	st := coldBenchStore(b, 4096)
-	st.SetQueryWorkers(1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	n := 0
-	for i := 0; i < b.N; i++ {
-		n = len(st.Select(f, 0))
+	cases := []struct {
+		name string
+		key  coldBenchKey
+		hot  bool
+	}{
+		{name: "tier=hot", hot: true},
+		{name: "tier=cold/cache=off", key: coldBenchKey{segPackets: 4096, format: segVersion2}},
+		{name: "tier=cold/cache=on", key: coldBenchKey{segPackets: 4096, format: segVersion2, cacheBytes: 64 << 20}},
 	}
-	if n == 0 {
-		b.Fatal("selective cold Select matched nothing; segment reads are failing")
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var st *Store
+			if c.hot {
+				st = queryBenchStore(b, 4)
+			} else {
+				st = coldBenchStore(b, c.key)
+				if c.key.cacheBytes > 0 {
+					st.Select(f, 0) // warm the cache outside the timer
+				}
+			}
+			st.SetQueryWorkers(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n = len(st.Select(f, 0))
+			}
+			if n == 0 {
+				b.Fatal("selective Select matched nothing; segment reads are failing")
+			}
+			b.ReportMetric(float64(n), "hits")
+			if !c.hot {
+				ts := st.TierStats()
+				if ts.Err != nil {
+					b.Fatal(ts.Err)
+				}
+				if c.key.cacheBytes > 0 && ts.CacheHits == 0 {
+					b.Fatal("warm-cache benchmark never hit the cache")
+				}
+			}
+		})
 	}
-	if ts := st.TierStats(); ts.Err != nil {
-		b.Fatal(ts.Err)
-	}
-	b.ReportMetric(float64(n), "hits")
 }
 
 // BenchmarkEvictBefore pins the untiered eviction path (per-shard slab cut

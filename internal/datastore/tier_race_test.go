@@ -131,3 +131,115 @@ func TestTierIngestSealQueryRace(t *testing.T) {
 		t.Fatalf("race test never sealed: %+v", ts)
 	}
 }
+
+// TestTierCacheQueryCompactRace races cold queries against seal/compact
+// churn with the decoded-block cache enabled: concurrent fills, LRU
+// evictions and compaction invalidations must never tear a result. The
+// small budget forces constant eviction; the converged store must still
+// equal the untiered reference exactly.
+func TestTierCacheQueryCompactRace(t *testing.T) {
+	frames := tierFrames(t)
+	if len(frames) > 3000 {
+		frames = frames[:3000]
+	}
+	s := NewSharded(4)
+	if err := s.EnableTiering(TierPolicy{
+		Dir: t.TempDir(), HotPackets: 1024, KeepFrac: 0.5,
+		MinSealPackets: 32, SegmentPackets: 128,
+		CacheBytes: 64 << 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stopCompact := s.StartTierCompactor(2 * time.Millisecond)
+	defer stopCompact()
+
+	sel, err := ParseFilter("proto == udp && dst.port == 53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := ParseFilter("len > 0 && ts >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // ingester
+		defer wg.Done()
+		defer close(done)
+		for lo := 0; lo < len(frames); {
+			hi := lo + 100
+			if hi > len(frames) {
+				hi = len(frames)
+			}
+			if _, err := s.AddBatch(frames[lo:hi], 2); err != nil {
+				t.Errorf("AddBatch: %v", err)
+				return
+			}
+			lo = hi
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // seal/compact churn invalidating cached blocks
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			s.SealHot(256)
+			s.CompactTier()
+		}
+	}()
+
+	for g := 0; g < 2; g++ { // cache-hitting query load
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastN int
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// The indexable filter exercises selective block decode, the
+				// non-indexable one full decode — both through the cache.
+				s.Select(sel, 50)
+				n := s.Count(scan)
+				if n < lastN {
+					t.Errorf("count regressed under churn: %d -> %d", lastN, n)
+					return
+				}
+				lastN = n
+				s.PacketsBetween(0, -1)
+			}
+		}()
+	}
+
+	wg.Wait()
+	stopCompact()
+
+	ref := NewSharded(4)
+	for lo := 0; lo < len(frames); {
+		hi := lo + 100
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		if _, err := ref.AddBatch(frames[lo:hi], 2); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	compareTierPrints(t, "post-cache-race", tierFingerprint(t, ref), tierFingerprint(t, s))
+	ts := s.TierStats()
+	if ts.Seals == 0 || ts.ColdPackets == 0 {
+		t.Fatalf("cache race test never sealed: %+v", ts)
+	}
+	if ts.CacheHits+ts.CacheMisses == 0 {
+		t.Fatal("cache race test never touched the cache")
+	}
+}

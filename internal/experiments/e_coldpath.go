@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"campuslab/internal/datastore"
+	"campuslab/internal/traffic"
+)
+
+// E19ColdQueryFastPath re-runs the E17 25x stream against three cold
+// tiers — legacy v1 segments, v2 block-compressed + dictionary segments,
+// and v2 with the decoded-block cache — and substantiates the fast-path
+// claims:
+//
+//   - equivalence: all three answer every query surface exactly like the
+//     all-RAM reference (the fast path changes cost, never results);
+//   - size: v2's per-block DEFLATE restarts and dictionary columns cost
+//     at most 25% extra disk over v1's single stream;
+//   - latency: a selective cold Select decodes only the blocks holding
+//     its candidate rows under v2, and a warm cache answers from RAM
+//     (reported best-of-3, not asserted — wall clock is environmental);
+//   - cache: repeated queries against the cached tier serve mostly from
+//     the cache (hit rate >= 50% after warm-up).
+func E19ColdQueryFastPath() (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "cold-tier query fast path: block decode, dictionaries, cache",
+		Columns: []string{"step", "v1", "v2", "v2+cache", "detail", "outcome"},
+	}
+
+	const epochs = 12
+	plan := traffic.DefaultPlan(40)
+	epochSpan := 2 * time.Second
+	all := make([][]traffic.Frame, epochs)
+	total := 0
+	for e := 0; e < epochs; e++ {
+		frames := tierEpochFrames(plan, e)
+		off := time.Duration(e) * epochSpan
+		for i := range frames {
+			frames[i].TS += off
+		}
+		all[e] = frames
+		total += len(frames)
+	}
+	capacity := max(256, total/25)
+
+	type tierCase struct {
+		name   string
+		format int
+		cache  int64
+		store  *datastore.Store
+	}
+	cases := []*tierCase{
+		{name: "v1", format: 1},
+		{name: "v2", format: 2},
+		{name: "v2+cache", format: 2, cache: 64 << 20},
+	}
+	for _, c := range cases {
+		dir, err := os.MkdirTemp("", "e19-tier-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		c.store = datastore.NewSharded(4)
+		if err := c.store.EnableTiering(datastore.TierPolicy{
+			Dir:            dir,
+			HotPackets:     uint64(capacity),
+			KeepFrac:       0.5,
+			MinSealPackets: 256,
+			SegmentPackets: max(512, capacity/4),
+			Format:         c.format,
+			CacheBytes:     c.cache,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	ref := datastore.NewSharded(4)
+
+	const batch = 512
+	ingested := 0
+	for e := 0; e < epochs; e++ {
+		frames := all[e]
+		for lo := 0; lo < len(frames); lo += batch {
+			hi := min(lo+batch, len(frames))
+			for _, c := range cases {
+				if _, err := c.store.AddBatch(frames[lo:hi], workers()); err != nil {
+					return nil, fmt.Errorf("e19 epoch %d (%s): %w", e, c.name, err)
+				}
+			}
+			if _, err := ref.AddBatch(frames[lo:hi], workers()); err != nil {
+				return nil, fmt.Errorf("e19 epoch %d (ref): %w", e, err)
+			}
+		}
+		ingested += len(frames)
+	}
+	for _, c := range cases {
+		if ts := c.store.TierStats(); ts.Err != nil {
+			return nil, fmt.Errorf("e19 %s: tier degraded: %w", c.name, ts.Err)
+		}
+	}
+
+	// Claim 1: equivalence for every format and the cached tier.
+	for _, c := range cases {
+		if err := tierEquivRow19(t, c.name, c.store, ref, ingested); err != nil {
+			return nil, err
+		}
+	}
+
+	// Claim 2: size under dictionary encoding. v2 restarts DEFLATE per
+	// block and adds dictionary columns; both must stay a modest tax on
+	// v1's single-stream ratio.
+	v1s, v2s := cases[0].store.Stats(), cases[1].store.Stats()
+	v1bpp := float64(v1s.ColdBytes) / float64(max(1, int(v1s.ColdPackets)))
+	v2bpp := float64(v2s.ColdBytes) / float64(max(1, int(v2s.ColdPackets)))
+	sizeRatio := v2bpp / v1bpp
+	sizeOutcome := fmt.Sprintf("PASS: v2/v1 = %.2fx", sizeRatio)
+	if sizeRatio > 1.25 {
+		sizeOutcome = fmt.Sprintf("FAIL: v2/v1 = %.2fx > 1.25x", sizeRatio)
+	}
+	t.AddRow("cold bytes/pkt", fmt.Sprintf("%.0f B", v1bpp), fmt.Sprintf("%.0f B", v2bpp), "",
+		fmt.Sprintf("%s vs %s on disk", fmtBytes(v1s.ColdBytes), fmtBytes(v2s.ColdBytes)), sizeOutcome)
+
+	// Claim 3 (reported): selective cold Select latency. The filter is a
+	// needle in the oldest (fully cold) window, so v1 inflates whole data
+	// columns, v2 only the blocks its candidates live in, and the cached
+	// tier (warmed by the run below) mostly skips inflation entirely.
+	sel, err := datastore.ParseFilter("ts < 2s && proto == udp && dst.port == 53")
+	if err != nil {
+		return nil, err
+	}
+	lat := func(s *datastore.Store) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			s.Select(sel, 0)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	// Warm the cache before timing it, and measure the hit rate over the
+	// repeated queries (claim 4).
+	cached := cases[2].store
+	cached.Select(sel, 0)
+	pre := cached.TierStats()
+	lats := make([]time.Duration, len(cases))
+	for i, c := range cases {
+		lats[i] = lat(c.store)
+	}
+	post := cached.TierStats()
+	hits := post.CacheHits - pre.CacheHits
+	misses := post.CacheMisses - pre.CacheMisses
+	hitRate := float64(hits) / float64(max(1, int(hits+misses)))
+
+	t.AddRow("cold selective Select", lats[0].String(), lats[1].String(), lats[2].String(),
+		"oldest-window needle, best of 3", "report")
+
+	cacheOutcome := fmt.Sprintf("PASS: %.0f%% served from cache", 100*hitRate)
+	if hitRate < 0.5 {
+		cacheOutcome = fmt.Sprintf("FAIL: hit rate %.0f%% < 50%%", 100*hitRate)
+	}
+	t.AddRow("cache hit rate", "", "", fmt.Sprintf("%d/%d", hits, hits+misses),
+		fmt.Sprintf("%s resident, %d blocks", fmtBytes(uint64(post.CacheBytes)), post.CacheEntries),
+		cacheOutcome)
+
+	t.Notes = append(t.Notes,
+		"expected shape: v2 beats v1 on the selective cold Select by skipping blocks without candidate rows (the BenchmarkSegmentQuery acceptance measures the same ratio); the warm cache beats both by skipping inflation; disk cost of block restarts + dictionaries stays under 1.25x v1",
+		"set CAMPUSLAB_SCAN_QUERY=1 to re-run any query through the serial full-scan reference engine; results must not change; CAMPUSLAB_NO_MMAP=1 swaps the segment read path to plain reads",
+		"this container is 1-CPU: the latency row is a report, not an assertion; the size, equivalence and hit-rate claims are machine-independent")
+	return t, nil
+}
+
+// tierEquivRow19 is tierEquivRow reshaped for E19's column layout: one
+// row per tier case, the named column carrying its packet totals.
+func tierEquivRow19(t *Table, name string, st, ref *datastore.Store, ingested int) error {
+	probe := &Table{Columns: t.Columns}
+	if err := tierEquivRow(probe, name, st, ref, ingested); err != nil {
+		return err
+	}
+	row := probe.Rows[len(probe.Rows)-1]
+	ss := st.Stats()
+	cell := fmt.Sprintf("%d hot + %d cold", ss.Packets, ss.ColdPackets)
+	cells := []string{"", "", ""}
+	for i, c := range []string{"v1", "v2", "v2+cache"} {
+		if c == name {
+			cells[i] = cell
+		}
+	}
+	t.AddRow("equivalence "+name, cells[0], cells[1], cells[2],
+		fmt.Sprintf("scan + 5 filters + flows (%d pkts)", ingested), row[len(row)-1])
+	return nil
+}

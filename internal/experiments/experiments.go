@@ -109,6 +109,7 @@ func All() []Runner {
 		{"E16", "chaos soak: crash/restart durability and self-healing lifecycle", E16ChaosSoak},
 		{"E17", "tiered retention: bounded hot slab over a 25x stream", E17TieredRetention},
 		{"E18", "multi-campus fleet: train-here/test-there vs federated recall", E18FleetFederation},
+		{"E19", "cold-tier query fast path: block decode, dictionaries, cache", E19ColdQueryFastPath},
 	}
 }
 

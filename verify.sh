@@ -56,11 +56,14 @@ go test -run=NONE -bench=BenchmarkEnsembleInference -benchtime=20x ./internal/da
 echo "==> bench smoke (store query engine: index vs scan)"
 go test -run=NONE -bench='BenchmarkSelect$|BenchmarkCount$' -benchtime=5x ./internal/datastore
 
-echo "==> bench smoke (cold tier: seal, segment query sweep, eviction)"
-go test -run=NONE -bench='BenchmarkSeal$|BenchmarkSegmentQuery|BenchmarkEvictBefore' -benchtime=2x ./internal/datastore
+echo "==> bench smoke (cold tier: seal, segment query sweep v1/v2, cache, eviction)"
+go test -run=NONE -bench='BenchmarkSeal$|BenchmarkSegmentQuery|BenchmarkColdSelect|BenchmarkEvictBefore' -benchtime=2x ./internal/datastore
 
-echo "==> tiered-store equivalence gate (tiered == untiered, byte for byte)"
-go test -run 'TestTieredStoreEquivalence' -short ./internal/datastore
+echo "==> tiered-store equivalence gate (tiered == untiered, byte for byte, both segment formats)"
+go test -run 'TestTieredStoreEquivalence|TestTierFormatEquivalence' -short ./internal/datastore
+
+echo "==> tier cache race gate (queries vs seal/compact churn with the block cache on)"
+go test -race -run 'TestTierCacheQueryCompactRace|TestTierIngestSealQueryRace' ./internal/datastore
 
 echo "==> fuzz smoke (packet parser, labd dispatcher, filter parser, ensemble compiler, WAL replay, segment codec)"
 go test -run=FuzzParse -fuzz=FuzzParse -fuzztime=10s ./internal/packet
